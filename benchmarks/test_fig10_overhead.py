@@ -1,0 +1,20 @@
+"""Figure 10: runtime overhead of LASER and VTune, whole suite."""
+
+from repro.experiments.overhead import run_overhead
+
+
+def test_fig10_overhead(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_overhead(runs=3), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    # Paper: LASER geomean 1.02 (kmeans worst, 1.22); VTune geomean 1.84.
+    assert result.laser_geomean < 1.06
+    assert result.vtune_geomean > 1.4
+    assert result.vtune_geomean > result.laser_geomean
+    # Repair makes the false-sharing victims *faster* than native.
+    assert result.row_for("histogram'").laser_norm < 1.0
+    assert result.row_for("lu_ncb").laser_norm < 0.95  # layout coincidence
+    # No benchmark suffers badly under LASER.
+    assert result.worst_laser().laser_norm < 1.25

@@ -1,0 +1,12 @@
+"""Figure 12: driver/detector CPU time for high-overhead benchmarks."""
+
+from repro.experiments.overhead import run_time_breakdown
+
+
+def test_fig12_time_breakdown(benchmark):
+    result = benchmark.pedantic(run_time_breakdown, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    for row in result.rows:
+        # "Generally, very little time is spent inside the LASER system."
+        assert row.driver_pct + row.detector_pct < 5.0

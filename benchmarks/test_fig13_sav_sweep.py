@@ -1,0 +1,19 @@
+"""Figure 13: dedup runtime vs. the sample-after value."""
+
+from repro.experiments.sav import run_sav_sweep
+
+
+def test_fig13_sav_sweep(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_sav_sweep(runs=3, sav_values=[1, 3, 7, 13, 19, 31]),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(result.render())
+    at_1 = result.normalized_at(1)
+    at_19 = result.normalized_at(19)
+    at_31 = result.normalized_at(31)
+    # Paper: ~1.5x at SAV=1, ~1.06 at the SAV=19 default, flat beyond.
+    assert at_1 > at_19 + 0.08
+    assert at_19 < 1.15
+    assert abs(at_31 - at_19) < 0.08

@@ -1,0 +1,24 @@
+"""Figure 14: LASER vs. manual fixes vs. the Sheriff schemes."""
+
+from repro.experiments.sheriff_cmp import run_sheriff_comparison
+
+
+def test_fig14_sheriff(benchmark):
+    result = benchmark.pedantic(
+        run_sheriff_comparison, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    # Sheriff fixes linear_regression's false sharing even though
+    # Sheriff-Detect reports nothing there.
+    lreg = result.row_for("linear_regression")
+    assert lreg.sheriff_protect is not None and lreg.sheriff_protect < 1.0
+    # The threads-as-processes model collapses on sync-heavy code.
+    water = result.row_for("water_nsquared")
+    assert water.sheriff_protect > 2.0
+    # LASER stays uniformly low overhead.
+    for row in result.rows:
+        assert row.laser < 1.25
+    # kmeans crashes under both Sheriff schemes (Table 1's "x").
+    kmeans = result.row_for("kmeans")
+    assert kmeans.sheriff_detect is None and kmeans.sheriff_protect is None

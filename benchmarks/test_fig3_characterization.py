@@ -1,0 +1,20 @@
+"""Figure 3: HITM record accuracy characterization (160 test cases)."""
+
+from repro.experiments.characterize import run_characterization
+from repro.workloads.characterization import generate_cases
+
+
+def test_fig3_characterization(benchmark):
+    # A representative quarter of the grid keeps the benchmark quick;
+    # run `python -m repro.experiments.characterize` for all 160 cases.
+    cases = generate_cases()[::4]
+    result = benchmark.pedantic(
+        lambda: run_characterization(cases), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    means = result.group_means()
+    # The paper's headline bands.
+    assert 0.6 < means["TSRW"]["addr_correct"] < 0.9
+    assert means["TSWW"]["addr_correct"] < 0.3
+    assert means["TSRW"]["pc_adjacent"] > means["TSWW"]["pc_adjacent"]

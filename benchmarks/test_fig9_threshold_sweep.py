@@ -1,0 +1,18 @@
+"""Figure 9: detection accuracy vs. the rate threshold."""
+
+from repro.experiments.thresholds import run_threshold_sweep
+
+
+def test_fig9_threshold_sweep(benchmark):
+    result = benchmark.pedantic(run_threshold_sweep, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    fp_low, fn_low = result.at(32.0)
+    fp_default, fn_default = result.at(1024.0)
+    fp_high, fn_high = result.at(65536.0)
+    # Low thresholds flood with FPs; high thresholds introduce FNs; the
+    # default (1K) balances: no FNs, modest FPs.
+    assert fp_low > 2 * fp_default
+    assert fn_default == 0
+    assert fn_high > 0
+    assert fp_high <= fp_default

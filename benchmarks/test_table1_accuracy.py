@@ -1,0 +1,17 @@
+"""Table 1: detection accuracy of LASER, VTune and Sheriff-Detect."""
+
+from repro.experiments.accuracy import run_accuracy
+
+
+def test_table1_accuracy(benchmark):
+    result = benchmark.pedantic(run_accuracy, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    totals = result.totals
+    # Paper: LASER 0 FN / 24 FP; VTune 1 FN / 64 FP; Sheriff 3 FN / 4 FP.
+    assert totals["laser_fn"] == 0
+    assert 10 <= totals["laser_fp"] <= 45
+    assert totals["vtune_fn"] <= 2
+    assert totals["vtune_fp"] > totals["laser_fp"]
+    assert totals["sheriff_fn"] == 3
+    assert totals["sheriff_fp"] == 4

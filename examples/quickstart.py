@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Quickstart: detect and repair false sharing with LASER.
+
+Runs the linear_regression benchmark analog three ways:
+
+1. natively (the false sharing costs most of the runtime),
+2. under LASER (detection + online repair),
+3. with the manual fix LASERDETECT's report suggests (cache-line
+   alignment of the `lreg_args` array).
+
+Usage: python examples/quickstart.py
+"""
+
+from repro.core import Laser, LaserConfig
+from repro.experiments.runner import run_built_native, run_native
+from repro.workloads import get_workload
+
+
+def main():
+    workload = get_workload("linear_regression")
+
+    native = run_native(workload)
+    print("native run:        %8d cycles, %5d HITM events (%d/sec)" % (
+        native.cycles, native.hitm_count, native.hitm_rate_per_second))
+
+    laser = Laser(LaserConfig())
+    result = laser.run_workload(workload)
+    print("under LASER:       %8d cycles  (%.2fx native, repaired=%s)" % (
+        result.cycles, result.cycles / native.cycles, result.repaired))
+
+    print("\nLASERDETECT report:")
+    print(result.report.render())
+
+    fixed = workload.build_fixed()
+    fixed_run = run_built_native(fixed)
+    print("\nmanually fixed:    %8d cycles  (%.1fx speedup: align the "
+          "lreg_args array)" % (fixed_run.cycles,
+                                native.cycles / fixed_run.cycles))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Event filtering: the first stages of the detection pipeline (Section 4.1).
+
+When a HITM record arrives, its PC is classified by parsing the
+application's virtual memory map (the ``/proc/<pid>/maps`` analog);
+records whose PC does not come from the application or its libraries are
+dropped as spurious.  Records whose *data address* lies on a thread
+stack are also dropped, as stacks "are unlikely to be shared between
+threads and thus unlikely to be sources of cache contention."
+"""
+
+from repro.pebs.events import StrippedRecord
+from repro.sim.vmmap import VirtualMemoryMap
+
+__all__ = ["RecordFilter"]
+
+
+class RecordFilter:
+    """Memory-map based record filtering."""
+
+    def __init__(self, vmmap: VirtualMemoryMap):
+        self.vmmap = vmmap
+        self.dropped_bad_pc = 0
+        self.dropped_stack_addr = 0
+        self.passed = 0
+
+    def admit(self, record: StrippedRecord) -> bool:
+        """True if ``record`` survives both filter stages."""
+        if not self.vmmap.is_application_or_library_code(record.pc):
+            self.dropped_bad_pc += 1
+            return False
+        if self.vmmap.is_stack_address(record.data_addr):
+            self.dropped_stack_addr += 1
+            return False
+        self.passed += 1
+        return True
+
+    @property
+    def total_seen(self) -> int:
+        return self.passed + self.dropped_bad_pc + self.dropped_stack_addr

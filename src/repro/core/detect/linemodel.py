@@ -1,0 +1,90 @@
+"""The cache line model: classifying true vs. false sharing (Section 4.3).
+
+Each tracked cache line records the type (read or write) and byte
+positions (a bitmap) of its *previous* access (Figure 5).  When a new
+access arrives:
+
+* if the byte ranges overlap and at least one access is a write ->
+  **true sharing**;
+* if they are disjoint and at least one access is a write ->
+  **false sharing**;
+* read-read pairs are not contention.
+
+Each sharing event is counted against the PC of the incoming access.
+Lines live in a hash table so only the few contended lines cost memory.
+"""
+
+import enum
+from typing import Dict, Optional, Tuple
+
+from repro._constants import CACHE_LINE_SIZE
+
+__all__ = ["SharingType", "CacheLineModel"]
+
+
+class SharingType(enum.Enum):
+    TRUE_SHARING = "TS"
+    FALSE_SHARING = "FS"
+    NONE = "none"
+
+
+class _LineInfo:
+    """Previous-access record for one cache line (Figure 5)."""
+
+    __slots__ = ("bitmap", "was_write")
+
+    def __init__(self, bitmap: int, was_write: bool):
+        self.bitmap = bitmap
+        self.was_write = was_write
+
+
+def _access_bitmap(addr: int, size: int) -> Tuple[int, int, int]:
+    """(line_index, bitmap, clipped_size) for an access.
+
+    Accesses straddling the line end are clipped to the first line, as
+    the model tracks one line per record.
+    """
+    line = addr // CACHE_LINE_SIZE
+    offset = addr % CACHE_LINE_SIZE
+    span = min(size, CACHE_LINE_SIZE - offset)
+    bitmap = ((1 << span) - 1) << offset
+    return line, bitmap, span
+
+
+class CacheLineModel:
+    """Byte-granular last-access tracking with TS/FS classification."""
+
+    def __init__(self):
+        self._lines: Dict[int, _LineInfo] = {}
+        self.ts_events = 0
+        self.fs_events = 0
+
+    def observe(self, addr: int, size: int, is_write: bool) -> SharingType:
+        """Feed one decoded access; returns the sharing type it triggered."""
+        line, bitmap, _span = _access_bitmap(addr, size)
+        info = self._lines.get(line)
+        if info is None:
+            self._lines[line] = _LineInfo(bitmap, is_write)
+            return SharingType.NONE
+        overlap = info.bitmap & bitmap
+        any_write = is_write or info.was_write
+        info.bitmap = bitmap
+        info.was_write = is_write
+        if not any_write:
+            return SharingType.NONE
+        if overlap:
+            self.ts_events += 1
+            return SharingType.TRUE_SHARING
+        self.fs_events += 1
+        return SharingType.FALSE_SHARING
+
+    def previous_access(self, addr: int) -> Optional[Tuple[int, bool]]:
+        """(bitmap, was_write) of the tracked line, for introspection."""
+        info = self._lines.get(addr // CACHE_LINE_SIZE)
+        if info is None:
+            return None
+        return info.bitmap, info.was_write
+
+    @property
+    def tracked_lines(self) -> int:
+        return len(self._lines)

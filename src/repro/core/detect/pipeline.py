@@ -1,0 +1,155 @@
+"""The full LASERDETECT event-processing pipeline (Figure 4).
+
+Record in -> PC classified against the memory map -> stack data
+addresses dropped -> PC aggregated by source line -> instruction decoded
+through the load/store sets -> byte-accurate cache line model ->
+per-line true/false sharing counts.
+
+The pipeline is incremental: records are pushed as the driver delivers
+them (the LASER system pushes every detection window), and reports can
+be cut at any time with any rate threshold — thresholds are applied at
+report time, "offline, without rerunning the program."
+"""
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro._constants import DETECTOR_RECORD_COST
+from repro.core.detect.filters import RecordFilter
+from repro.core.detect.linemap import LineAggregator
+from repro.core.detect.linemodel import CacheLineModel, SharingType
+from repro.core.detect.loadstore import LoadStoreSets
+from repro.core.detect.report import ContentionReport, LineReport
+from repro.isa.program import Program, SourceLocation
+from repro.pebs.events import StrippedRecord
+from repro.sim.vmmap import VirtualMemoryMap
+
+__all__ = ["DetectionPipeline", "PipelineStats"]
+
+
+class PipelineStats:
+    """Bookkeeping across all pipeline stages."""
+
+    __slots__ = (
+        "records_seen",
+        "records_admitted",
+        "undecodable_pcs",
+        "detector_cycles",
+    )
+
+    def __init__(self):
+        self.records_seen = 0
+        self.records_admitted = 0
+        self.undecodable_pcs = 0
+        self.detector_cycles = 0
+
+
+class DetectionPipeline:
+    """Stateful pipeline consuming stripped HITM records."""
+
+    def __init__(
+        self,
+        program: Program,
+        vmmap: VirtualMemoryMap,
+        sample_after_value: int,
+        record_cost: int = DETECTOR_RECORD_COST,
+    ):
+        self.program = program
+        self.filter = RecordFilter(vmmap)
+        self.aggregator = LineAggregator(program, sample_after_value)
+        self.load_store_sets = LoadStoreSets.from_program(program)
+        self.line_model = CacheLineModel()
+        self.sample_after_value = sample_after_value
+        self.record_cost = record_cost
+        self.stats = PipelineStats()
+        # Per-source-line TS/FS event counts ("associated with the PC of N").
+        self._sharing_by_line: Dict[SourceLocation, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+
+    def process(self, records: Iterable[StrippedRecord]) -> None:
+        for record in records:
+            self._process_one(record)
+
+    def _process_one(self, record: StrippedRecord) -> None:
+        self.stats.records_seen += 1
+        self.stats.detector_cycles += self.record_cost
+        if not self.filter.admit(record):
+            return
+        self.stats.records_admitted += 1
+
+        # Stage: aggregate by source line (addresses are NOT consulted,
+        # which is what makes location detection robust to address noise).
+        loc = self.aggregator.add_record_pc(record.pc)
+
+        # Stage: decode the PC through the load/store sets; records whose
+        # PC is not a memory op (a skidded or random PC) cannot be decoded
+        # and skip the line model.
+        op = self.load_store_sets.lookup(record.pc)
+        if op is None:
+            self.stats.undecodable_pcs += 1
+            return
+
+        # Stage: byte-accurate cache line model.  x86 RMW instructions
+        # are both loads and stores; feed the write (the contention-
+        # relevant half), accepting the inaccuracy the paper notes.
+        sharing = self.line_model.observe(record.data_addr, op.size, op.is_store)
+        if sharing is SharingType.NONE or loc is None:
+            return
+        counts = self._sharing_by_line.setdefault(loc, [0, 0])
+        if sharing is SharingType.TRUE_SHARING:
+            counts[0] += 1
+        else:
+            counts[1] += 1
+
+    def roll_window(self, window_cycles: int) -> None:
+        """Close a detection window (called at each periodic check)."""
+        self.aggregator.roll_window(window_cycles)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def report(self, duration_cycles: int, rate_threshold: float) -> ContentionReport:
+        """Cut a report at the given threshold (applied offline)."""
+        from repro._constants import CYCLES_PER_SECOND
+
+        scale = (
+            self.sample_after_value * CYCLES_PER_SECOND / duration_cycles
+            if duration_cycles > 0
+            else 0.0
+        )
+        lines = []
+        for stats in self.aggregator.lines_above_threshold(
+            duration_cycles, rate_threshold
+        ):
+            ts, fs = self._sharing_by_line.get(stats.location, (0, 0))
+            lines.append(
+                LineReport(
+                    location=stats.location,
+                    record_count=stats.record_count,
+                    hitm_rate=stats.hitm_rate(
+                        duration_cycles, self.sample_after_value
+                    ),
+                    ts_events=ts,
+                    fs_events=fs,
+                    fs_event_rate=fs * scale,
+                    ts_event_rate=ts * scale,
+                )
+            )
+        return ContentionReport(
+            lines, duration_cycles, self.sample_after_value, rate_threshold
+        )
+
+    def contending_pcs_for_line(self, location: SourceLocation) -> List[int]:
+        """Memory-op PCs the binary analysis maps to ``location``.
+
+        Used when invoking LASERREPAIR: the detector hands over the PCs
+        involved in false sharing (Section 4.4).
+        """
+        return [
+            pc
+            for pc in self.program.pcs_for_location(location)
+            if pc in self.load_store_sets
+        ]

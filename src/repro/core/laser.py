@@ -1,0 +1,185 @@
+"""The LASER system (Section 6, Figure 8).
+
+Wires together the three components: the kernel driver (PEBS buffers +
+record stripping), the userspace detector process (the Section 4
+pipeline), and the online repair mechanism (Section 5).  The detector
+"forks the application process to be analyzed" — modelled as a small
+heap-base shift in the child's layout — then configures the driver and
+consumes records while the application runs.  At every check interval
+the detector evaluates false-sharing rates and may invoke LASERREPAIR,
+which attaches to the running machine like Pin attaches to a running
+process.
+"""
+
+from typing import Optional, Set
+
+from repro.core.config import LaserConfig
+from repro.core.detect.pipeline import DetectionPipeline
+from repro.core.detect.report import ContentionReport
+from repro.core.repair.manager import LaserRepair, RepairPlan
+from repro.pebs.driver import KernelDriver
+from repro.pebs.imprecision import ImprecisionModel
+from repro.pebs.pmu import PerformanceMonitoringUnit
+from repro.sim.machine import Machine
+
+__all__ = ["Laser", "LaserRunResult"]
+
+
+class LaserRunResult:
+    """Everything observable from one application run under LASER."""
+
+    def __init__(
+        self,
+        cycles: int,
+        report: ContentionReport,
+        repaired: bool,
+        repair_plan: Optional[RepairPlan],
+        pmu: PerformanceMonitoringUnit,
+        driver: KernelDriver,
+        pipeline: DetectionPipeline,
+        machine: Machine,
+    ):
+        self.cycles = cycles
+        self.report = report
+        self.repaired = repaired
+        self.repair_plan = repair_plan
+        self.pmu = pmu
+        self.driver = driver
+        self.pipeline = pipeline
+        self.machine = machine
+
+    @property
+    def detector_cycles(self) -> int:
+        """CPU time spent in the userspace detector (Figure 12)."""
+        return self.pipeline.stats.detector_cycles
+
+    @property
+    def driver_cycles(self) -> int:
+        """CPU time spent in the kernel driver (Figure 12)."""
+        return self.driver.driver_cycles
+
+    @property
+    def application_cpu_cycles(self) -> int:
+        """Total busy CPU time across application cores."""
+        return sum(core.stats.busy_cycles for core in self.machine.cores)
+
+    def __repr__(self):
+        return "<LaserRunResult cycles=%d hitms=%d repaired=%s>" % (
+            self.cycles,
+            self.pmu.total_hitm_count,
+            self.repaired,
+        )
+
+
+class Laser:
+    """The deployable system: detect + (optionally) repair online."""
+
+    def __init__(self, config: Optional[LaserConfig] = None):
+        self.config = config or LaserConfig()
+        self.repairer = LaserRepair(
+            min_stores_per_flush=self.config.min_stores_per_flush
+        )
+
+    # ------------------------------------------------------------------
+    # Running a workload under LASER
+    # ------------------------------------------------------------------
+
+    def run_workload(self, workload, scale: float = 1.0,
+                     max_cycles: int = 200_000_000) -> LaserRunResult:
+        """Fork (build with the shifted heap) and monitor a workload."""
+        built = workload.build(
+            heap_offset=self.config.heap_shift,
+            seed=self.config.seed,
+            scale=scale,
+        )
+        return self.run_built(built, max_cycles=max_cycles)
+
+    def run_built(self, built,
+                  max_cycles: int = 200_000_000) -> LaserRunResult:
+        """Monitor an already-built program."""
+        config = self.config
+        program = built.program
+        machine = Machine(
+            program,
+            seed=config.seed,
+            allocator=built.allocator,
+        )
+        built.apply_init(machine)
+
+        # Wrong PCs scatter across the whole app text region (most of a
+        # real binary is cold code with no HITM-relevant debug lines).
+        app_region = machine.vmmap.find(program.code_base)
+        imprecision = ImprecisionModel(
+            app_region.start, app_region.end, seed=config.seed
+        )
+        driver = KernelDriver()
+        pmu = PerformanceMonitoringUnit(
+            imprecision,
+            driver=driver,
+            sample_after_value=config.sample_after_value,
+            pebs_enabled=config.detection_enabled,
+        )
+        machine.on_hitm = pmu.on_hitm
+        pipeline = DetectionPipeline(
+            program, machine.vmmap, config.sample_after_value
+        )
+
+        repaired = False
+        plan: Optional[RepairPlan] = None
+        next_check = config.check_interval_cycles
+        window_start = 0
+        while True:
+            result = machine.run(until_cycle=next_check, max_cycles=max_cycles)
+            # The detector's periodic poll forces a drain of partially
+            # filled per-core buffers (otherwise records would sit until
+            # the 64-record buffer-full interrupt, blinding the online
+            # repair trigger on short phases).
+            pipeline.process(driver.flush_all())
+            pipeline.roll_window(machine.cycle - window_start)
+            window_start = machine.cycle
+            if result.finished:
+                break
+            next_check = machine.cycle + config.check_interval_cycles
+            if not (config.repair_enabled and config.detection_enabled):
+                continue
+            if repaired or (plan is not None and plan.rejected_reason):
+                continue  # already repaired, or already deemed unprofitable
+            plan = self._maybe_repair(machine, pipeline)
+            if plan is not None and plan.profitable:
+                self.repairer.attach(machine, plan)
+                repaired = True
+
+        pipeline.process(driver.flush_all())
+        report = pipeline.report(machine.cycle, config.rate_threshold)
+        return LaserRunResult(
+            cycles=machine.cycle,
+            report=report,
+            repaired=repaired,
+            repair_plan=plan,
+            pmu=pmu,
+            driver=driver,
+            pipeline=pipeline,
+            machine=machine,
+        )
+
+    # ------------------------------------------------------------------
+    # Repair trigger (Section 4.4)
+    # ------------------------------------------------------------------
+
+    def _maybe_repair(self, machine: Machine,
+                      pipeline: DetectionPipeline) -> Optional[RepairPlan]:
+        """Check FS rates; build a plan if they exceed the trigger."""
+        interim = pipeline.report(machine.cycle, self.config.rate_threshold)
+        fs_lines = interim.repair_candidates(
+            min_total_hitm_rate=self.config.repair_trigger_rate
+        )
+        if not fs_lines:
+            return None
+        contending_pcs: Set[int] = set()
+        for line in fs_lines:
+            contending_pcs.update(
+                pipeline.contending_pcs_for_line(line.location)
+            )
+        if not contending_pcs:
+            return None
+        return self.repairer.plan(machine.program, contending_pcs)

@@ -1,0 +1,82 @@
+"""Speculative alias analysis (Section 5.3).
+
+"To reduce the number of loads using the SSB, we employ a simplified
+form of speculative alias analysis.  Our analysis assumes loads using a
+register unused by any store do not alias.  Such loads do not require
+SSB modification.  To validate this speculation, an aliasing check is
+inserted between the def and use of each load address."
+
+We apply the rule per instrumentation region: collect the base registers
+of every store in the region; loads whose base register is outside that
+set are exempted from the SSB, guarded by a runtime ALIAS_CHECK (one per
+exempted load per basic block and base register).  A failed check
+flushes the SSB, after which the plain load is safe — the thread-local
+recovery the paper describes.
+"""
+
+from typing import Dict, List, Set, Tuple
+
+from repro.isa.cfg import ControlFlowGraph
+from repro.isa.instructions import Opcode
+
+__all__ = ["speculative_alias_analysis"]
+
+
+def speculative_alias_analysis(
+    cfg: ControlFlowGraph, region_blocks: Set[int]
+) -> Tuple[Set[int], Dict[int, int]]:
+    """Identify SSB-exempt loads in the instrumentation region.
+
+    Returns ``(exempt_load_indices, checks)`` where ``checks`` maps an
+    instruction index to the load index it guards (an ALIAS_CHECK is
+    inserted immediately before each key).
+    """
+    instructions = cfg.code.instructions
+
+    store_base_regs: Set[int] = set()
+    region_has_store = False
+    for block_index in region_blocks:
+        block = cfg.blocks[block_index]
+        for i in block.instruction_indices():
+            inst = instructions[i]
+            if inst.op in (Opcode.STORE, Opcode.ADDM, Opcode.CMPXCHG, Opcode.XADD):
+                region_has_store = True
+                if inst.a is not None and inst.a.is_reg:
+                    store_base_regs.add(inst.a.value)
+                else:
+                    # A store through an absolute address: we cannot name
+                    # a register, so disable speculation entirely (the
+                    # conservative fallback).
+                    return set(), {}
+
+    if not region_has_store:
+        # Nothing ever enters the SSB: every load is trivially exempt and
+        # needs no check.
+        exempt = set()
+        for block_index in region_blocks:
+            block = cfg.blocks[block_index]
+            for i in block.instruction_indices():
+                if instructions[i].op is Opcode.LOAD:
+                    exempt.add(i)
+        return exempt, {}
+
+    exempt: Set[int] = set()
+    checks: Dict[int, int] = {}
+    for block_index in sorted(region_blocks):
+        block = cfg.blocks[block_index]
+        checked_regs_in_block: Set[int] = set()
+        for i in block.instruction_indices():
+            inst = instructions[i]
+            if inst.op is not Opcode.LOAD:
+                continue
+            if inst.a is None or not inst.a.is_reg:
+                continue  # absolute-address load: stays on the SSB path
+            base = inst.a.value
+            if base in store_base_regs:
+                continue  # may alias: must use the SSB
+            exempt.add(i)
+            if base not in checked_regs_in_block:
+                # "Multiple uses of the same def require only one check."
+                checks[i] = i
+                checked_regs_in_block.add(base)
+    return exempt, checks

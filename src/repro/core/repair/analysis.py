@@ -1,0 +1,140 @@
+"""Control-flow analysis for SSB instrumentation (Section 5.3, Figure 7).
+
+Given the PCs involved in contention:
+
+1. find the basic blocks containing contending instructions;
+2. place the flush at the nearest common post-dominator *outside* the
+   contending loop, "which helps to minimize the dynamic occurrence of
+   flushes" — for contention inside a loop, the loop exit;
+3. instrument every memory operation in the blocks reachable from a
+   contending block without crossing the flush point;
+4. exempt provably(-speculatively) non-aliasing loads (``alias.py``);
+5. estimate profitability (``cost.py``).
+"""
+
+from typing import Dict, List, Optional, Set
+
+from repro.core.repair.alias import speculative_alias_analysis
+from repro.core.repair.cost import estimate_stores_per_flush
+from repro.isa.cfg import EXIT, ControlFlowGraph, build_cfg
+from repro.isa.program import ThreadCode
+
+__all__ = ["ThreadRepairAnalysis", "analyze_thread"]
+
+
+class ThreadRepairAnalysis:
+    """Everything the rewriter needs for one thread."""
+
+    def __init__(
+        self,
+        cfg: ControlFlowGraph,
+        contending_blocks: Set[int],
+        region_blocks: Set[int],
+        flush_block: Optional[int],
+        flush_before_instructions: Set[int],
+        exempt_loads: Set[int],
+        alias_checks: Dict[int, int],
+        stores_per_flush: float,
+    ):
+        self.cfg = cfg
+        self.contending_blocks = contending_blocks
+        self.region_blocks = region_blocks
+        self.flush_block = flush_block
+        self.flush_before_instructions = flush_before_instructions
+        self.exempt_loads = exempt_loads
+        self.alias_checks = alias_checks
+        self.stores_per_flush = stores_per_flush
+
+    @property
+    def has_contention(self) -> bool:
+        return bool(self.contending_blocks)
+
+    def is_profitable(self, min_stores_per_flush: float) -> bool:
+        return self.stores_per_flush >= min_stores_per_flush
+
+    def instrumented_instruction_indices(self) -> Set[int]:
+        """Memory-op indices that will be redirected through the SSB."""
+        out = set()
+        instructions = self.cfg.code.instructions
+        for block_index in self.region_blocks:
+            for i in self.cfg.blocks[block_index].instruction_indices():
+                inst = instructions[i]
+                if inst.is_memory_op and i not in self.exempt_loads:
+                    out.add(i)
+        return out
+
+
+def _nearest_outside_post_dominator(
+    cfg: ControlFlowGraph, contending_blocks: Set[int]
+) -> Optional[int]:
+    """Nearest common post-dominator not inside the contending loop."""
+    candidates = cfg.common_post_dominators(contending_blocks)
+    # Blocks on a cycle with a contending block would flush every trip.
+    in_loop = set()
+    for candidate in candidates:
+        if candidate == EXIT:
+            continue
+        reach_fwd = cfg.reachable_from({candidate})
+        if any(
+            c in reach_fwd and candidate in cfg.reachable_from({c})
+            for c in contending_blocks
+        ):
+            in_loop.add(candidate)
+    usable = [
+        c
+        for c in candidates
+        if c != EXIT and c not in in_loop and c not in contending_blocks
+    ]
+    if not usable:
+        return None  # flush before HALT / rely on exit drains
+    # Nearest to the contention = furthest from the exit = the candidate
+    # post-dominated by the most blocks.
+    return max(usable, key=lambda c: (len(cfg.post_dominators(c)), -c))
+
+
+def analyze_thread(code: ThreadCode, contending_pcs: Set[int]) -> ThreadRepairAnalysis:
+    """Run the full Section 5.3 analysis for one thread."""
+    cfg = build_cfg(code)
+    instructions = code.instructions
+
+    contending_indices = [
+        i for i, inst in enumerate(instructions) if inst.pc in contending_pcs
+    ]
+    contending_blocks = {
+        cfg.block_of_instruction(i).index for i in contending_indices
+    }
+    if not contending_blocks:
+        return ThreadRepairAnalysis(
+            cfg, set(), set(), None, set(), set(), {}, 0.0
+        )
+
+    flush_block = _nearest_outside_post_dominator(cfg, contending_blocks)
+
+    # Region: reachable from contention without crossing the flush point.
+    region: Set[int] = set(contending_blocks)
+    frontier = list(contending_blocks)
+    while frontier:
+        current = frontier.pop()
+        for succ in cfg.blocks[current].successors:
+            if succ == flush_block or succ in region:
+                continue
+            region.add(succ)
+            frontier.append(succ)
+
+    flush_before: Set[int] = set()
+    if flush_block is not None:
+        flush_before.add(cfg.blocks[flush_block].start)
+
+    exempt_loads, alias_checks = speculative_alias_analysis(cfg, region)
+    stores_per_flush = estimate_stores_per_flush(cfg, region)
+
+    return ThreadRepairAnalysis(
+        cfg=cfg,
+        contending_blocks=contending_blocks,
+        region_blocks=region,
+        flush_block=flush_block,
+        flush_before_instructions=flush_before,
+        exempt_loads=exempt_loads,
+        alias_checks=alias_checks,
+        stores_per_flush=stores_per_flush,
+    )

@@ -1,0 +1,85 @@
+"""Repair profitability estimation (Sections 5.3 and 5.4).
+
+"There is also an inherent tension in the placement of flush operations
+... LASERREPAIR's static analysis estimates the dynamic cost of SSB
+usage and does not attempt contention repair if the ratio of stores to
+flushes is estimated to be low" — e.g. when a contending instruction is
+wrapped inside a small critical section whose fence forces a flush every
+iteration.
+
+The estimator is static: it looks for cycles (loops) among the
+instrumented blocks, counts the stores that would use the SSB per trip
+and the fence-like instructions that force a drain per trip, and
+projects a stores-per-flush ratio.
+"""
+
+from typing import Set
+
+from repro.isa.cfg import ControlFlowGraph
+from repro.isa.instructions import FENCE_OPS, Opcode
+
+__all__ = ["estimate_stores_per_flush", "ASSUMED_TRIP_COUNT"]
+
+#: Trip-count assumption for loops with no internal drain point: the
+#: flush sits at the loop exit, so stores from every iteration coalesce.
+ASSUMED_TRIP_COUNT = 64
+
+
+def _loop_blocks(cfg: ControlFlowGraph, region_blocks: Set[int]) -> Set[int]:
+    """Blocks of the region that sit on a cycle within the region."""
+    loops: Set[int] = set()
+    for block_index in region_blocks:
+        # A block is on a cycle iff it can reach itself via region blocks.
+        frontier = [
+            s
+            for s in cfg.blocks[block_index].successors
+            if s in region_blocks
+        ]
+        seen = set()
+        while frontier:
+            current = frontier.pop()
+            if current == block_index:
+                loops.add(block_index)
+                break
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(
+                s for s in cfg.blocks[current].successors if s in region_blocks
+            )
+    return loops
+
+
+def estimate_stores_per_flush(cfg: ControlFlowGraph,
+                              region_blocks: Set[int]) -> float:
+    """Projected dynamic stores-per-flush ratio for the region."""
+    instructions = cfg.code.instructions
+    loops = _loop_blocks(cfg, region_blocks)
+
+    def count_in(blocks: Set[int], predicate) -> int:
+        total = 0
+        for block_index in blocks:
+            for i in cfg.blocks[block_index].instruction_indices():
+                if predicate(instructions[i]):
+                    total += 1
+        return total
+
+    def is_store(inst):
+        return inst.op in (Opcode.STORE, Opcode.ADDM)
+
+    def is_drain(inst):
+        return inst.op in FENCE_OPS
+
+    if loops:
+        stores_per_trip = count_in(loops, is_store)
+        drains_per_trip = count_in(loops, is_drain)
+        if stores_per_trip == 0:
+            return 0.0
+        if drains_per_trip == 0:
+            # Flush only at the loop exit: the whole loop coalesces.
+            return float(stores_per_trip * ASSUMED_TRIP_COUNT)
+        return stores_per_trip / drains_per_trip
+
+    stores = count_in(region_blocks, is_store)
+    drains = count_in(region_blocks, is_drain)
+    return stores / float(max(1, drains + 1))

@@ -1,0 +1,104 @@
+"""LASERREPAIR orchestration.
+
+The manager is invoked by LASERDETECT with the PCs involved in false
+sharing (Section 4.4).  It analyzes each thread, checks profitability,
+rewrites the code, and attaches the result to the running machine the
+way Pin attaches to a running process: thread code is swapped at an
+instruction boundary and each affected thread gets a software store
+buffer.
+"""
+
+from typing import Dict, List, Optional, Set
+
+from repro.core.repair.analysis import ThreadRepairAnalysis, analyze_thread
+from repro.core.repair.rewrite import rewrite_thread
+from repro.core.repair.ssb import SoftwareStoreBuffer
+from repro.isa.program import Program, ThreadCode
+
+__all__ = ["RepairPlan", "LaserRepair"]
+
+
+class RepairPlan:
+    """The outcome of repair analysis over a whole program."""
+
+    def __init__(self, program: Program, contending_pcs: Set[int]):
+        self.program = program
+        self.contending_pcs = contending_pcs
+        self.analyses: Dict[int, ThreadRepairAnalysis] = {}
+        self.new_codes: Dict[int, ThreadCode] = {}
+        self.index_maps: Dict[int, Dict[int, int]] = {}
+        self.rejected_reason: Optional[str] = None
+
+    @property
+    def profitable(self) -> bool:
+        return self.rejected_reason is None and bool(self.new_codes)
+
+    @property
+    def threads_instrumented(self) -> List[int]:
+        return sorted(self.new_codes)
+
+    def min_stores_per_flush(self) -> float:
+        ratios = [
+            a.stores_per_flush
+            for a in self.analyses.values()
+            if a.has_contention
+        ]
+        return min(ratios) if ratios else 0.0
+
+
+class LaserRepair:
+    """Builds and applies repair plans."""
+
+    def __init__(self, min_stores_per_flush: float = 4.0):
+        self.min_stores_per_flush = min_stores_per_flush
+        self.plans_built = 0
+        self.plans_applied = 0
+        self.plans_rejected = 0
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+
+    def plan(self, program: Program, contending_pcs: Set[int]) -> RepairPlan:
+        """Analyze and (if profitable) rewrite every contending thread."""
+        plan = RepairPlan(program, set(contending_pcs))
+        self.plans_built += 1
+        for tid, code in enumerate(program.threads):
+            analysis = analyze_thread(code, plan.contending_pcs)
+            if not analysis.has_contention:
+                continue
+            plan.analyses[tid] = analysis
+            if not analysis.is_profitable(self.min_stores_per_flush):
+                plan.rejected_reason = (
+                    "thread %d: estimated %.1f stores/flush below %.1f"
+                    % (tid, analysis.stores_per_flush, self.min_stores_per_flush)
+                )
+                plan.new_codes.clear()
+                plan.index_maps.clear()
+                self.plans_rejected += 1
+                return plan
+            new_code, index_map = rewrite_thread(code, analysis)
+            plan.new_codes[tid] = new_code
+            plan.index_maps[tid] = index_map
+        if not plan.new_codes:
+            plan.rejected_reason = "no thread contains the contending PCs"
+            self.plans_rejected += 1
+        return plan
+
+    # ------------------------------------------------------------------
+    # Attach (the Pin-attach analog)
+    # ------------------------------------------------------------------
+
+    def attach(self, machine, plan: RepairPlan) -> List[SoftwareStoreBuffer]:
+        """Swap instrumented code into the running machine."""
+        if not plan.profitable:
+            raise ValueError("cannot attach a rejected plan: %s" % plan.rejected_reason)
+        buffers = []
+        for tid in plan.threads_instrumented:
+            core = machine.cores[tid]
+            core.replace_code(plan.new_codes[tid].instructions, plan.index_maps[tid])
+            ssb = SoftwareStoreBuffer(machine, tid)
+            core.ssb = ssb
+            buffers.append(ssb)
+        self.plans_applied += 1
+        return buffers

@@ -1,0 +1,64 @@
+"""Program rewriting: applying an analysis to produce instrumented code.
+
+The rewriter plays the role of Pin's code cache: it emits a new
+instruction stream in which region memory ops use the SSB pseudo-ops,
+flushes sit at the analysis' flush points, and alias checks guard
+speculatively exempted loads.  It returns an ``index_map`` from original
+instruction indices to new ones so that running threads can be attached
+mid-execution (``Core.replace_code``).
+"""
+
+from typing import Dict, List, Set, Tuple
+
+from repro.core.repair.analysis import ThreadRepairAnalysis
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import ThreadCode
+
+__all__ = ["rewrite_thread"]
+
+
+def rewrite_thread(
+    code: ThreadCode, analysis: ThreadRepairAnalysis
+) -> Tuple[ThreadCode, Dict[int, int]]:
+    """Return (instrumented ThreadCode, old->new index map)."""
+    instrumented = analysis.instrumented_instruction_indices()
+    flush_before = analysis.flush_before_instructions
+    checks_before = set(analysis.alias_checks)
+
+    new_instructions: List[Instruction] = []
+    index_map: Dict[int, int] = {}
+
+    for i, inst in enumerate(code.instructions):
+        index_map[i] = len(new_instructions)
+        if i in flush_before:
+            flush = Instruction(Opcode.SSB_FLUSH, loc=inst.loc, region=inst.region)
+            new_instructions.append(flush)
+        if i in checks_before:
+            guard = Instruction(
+                Opcode.ALIAS_CHECK,
+                a=inst.a,
+                offset=inst.offset,
+                size=inst.size,
+                loc=inst.loc,
+                region=inst.region,
+            )
+            new_instructions.append(guard)
+        copy = inst.copy()
+        if i in instrumented:
+            if copy.op is Opcode.LOAD:
+                copy.op = Opcode.SSB_LOAD
+            elif copy.op is Opcode.STORE:
+                copy.op = Opcode.SSB_STORE
+            elif copy.op is Opcode.ADDM:
+                copy.op = Opcode.SSB_ADDM
+            # CMPXCHG/XADD are fences: they drain the SSB themselves and
+            # act on shared memory directly, preserving atomicity.
+        new_instructions.append(copy)
+
+    # Retarget branches through the index map.
+    for inst in new_instructions:
+        if inst.is_branch:
+            inst.target = index_map[inst.target]
+
+    new_labels = {name: index_map[idx] for name, idx in code.labels.items()}
+    return ThreadCode(code.name, new_instructions, new_labels), index_map

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the LASER reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class AssemblyError(ReproError):
+    """A program could not be assembled (unknown label, bad operand...)."""
+
+
+class SimulationError(ReproError):
+    """The machine entered an invalid state (bad address, deadlock...)."""
+
+
+class MemoryError_(SimulationError):
+    """An access touched an address outside any mapped region."""
+
+
+class DeadlockError(SimulationError):
+    """No core can make progress (e.g. all spinning on a lost lock)."""
+
+
+class AllocationError(SimulationError):
+    """The simulated allocator ran out of heap or got bad arguments."""
+
+
+class HtmAbort(ReproError):
+    """A hardware transaction aborted (capacity or conflict).
+
+    Raised internally by the HTM model and handled by the SSB flush logic;
+    carries the abort reason for diagnostics.
+    """
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class RepairError(ReproError):
+    """LASERREPAIR could not analyze or instrument the target program."""
+
+
+class WorkloadError(ReproError):
+    """A workload was misconfigured or references unknown resources."""
+
+
+class SheriffIncompatible(ReproError):
+    """The workload uses features Sheriff does not support (Section 7.3)."""
+
+
+class SheriffCrash(ReproError):
+    """The workload encounters a runtime error under Sheriff (Table 1)."""

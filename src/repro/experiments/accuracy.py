@@ -1,0 +1,234 @@
+"""Table 1 (detection accuracy) and Table 2 (contention type).
+
+For every workload, the experiment runs LASERDETECT, the VTune baseline
+and Sheriff-Detect, then scores each tool against the known-performance-
+bug database:
+
+* **false negative** — a database bug none of whose source lines the
+  tool reported;
+* **false positive** — a reported source line covered by no database
+  bug.  Sheriff-Detect reports allocation *sites*, which can never match
+  a line-level bug; per the paper's accounting its site reports are
+  false positives, and reverse_index's bug — which Sheriff sees only as
+  "somewhere inside the malloc wrapper" — still counts as a false
+  negative.
+"""
+
+from typing import Dict, List, Optional
+
+from repro.baselines.sheriff import SheriffMode, run_sheriff
+from repro.baselines.vtune import VTuneProfiler
+from repro.core.config import LaserConfig
+from repro.core.detect.report import ContentionClass, ContentionReport
+from repro.errors import SheriffCrash, SheriffIncompatible
+from repro.experiments.runner import run_laser_on
+from repro.experiments.tables import render_table
+from repro.workloads.base import Workload
+from repro.workloads.registry import all_workloads
+
+__all__ = ["AccuracyRow", "AccuracyResult", "run_accuracy",
+           "run_contention_type", "score_report_lines"]
+
+
+def score_report_lines(workload: Workload, reported_locations) -> Dict[str, int]:
+    """Score a line-level report against the bug database."""
+    false_negatives = 0
+    for bug in workload.bugs:
+        if not any(bug.covers(loc) for loc in reported_locations):
+            false_negatives += 1
+    bug_lines = set(workload.bug_locations())
+    false_positives = sum(1 for loc in reported_locations if loc not in bug_lines)
+    return {"fn": false_negatives, "fp": false_positives}
+
+
+class AccuracyRow:
+    """One benchmark's Table 1 row."""
+
+    def __init__(self, name: str, bug_count: int):
+        self.name = name
+        self.bug_count = bug_count
+        self.laser_fn = 0
+        self.laser_fp = 0
+        self.vtune_fn = 0
+        self.vtune_fp = 0
+        self.sheriff_fn: Optional[int] = None  # None -> crash/incompatible
+        self.sheriff_fp: Optional[int] = None
+        self.sheriff_status = "ok"
+
+    @staticmethod
+    def _dash(value) -> str:
+        if value is None:
+            return "?"
+        return "-" if value == 0 else str(value)
+
+    def cells(self) -> List[str]:
+        if self.sheriff_status == "crash":
+            sheriff = ["x", ""]
+        elif self.sheriff_status == "incompatible":
+            sheriff = ["i", ""]
+        else:
+            sheriff = [self._dash(self.sheriff_fn), self._dash(self.sheriff_fp)]
+        return [
+            self.name,
+            self._dash(self.bug_count),
+            self._dash(self.laser_fn),
+            self._dash(self.laser_fp),
+            self._dash(self.vtune_fn),
+            self._dash(self.vtune_fp),
+        ] + sheriff
+
+
+class AccuracyResult:
+    """All rows plus totals (the reproduction of Table 1)."""
+
+    def __init__(self, rows: List[AccuracyRow]):
+        self.rows = rows
+
+    @property
+    def totals(self) -> Dict[str, int]:
+        out = {
+            "bugs": sum(r.bug_count for r in self.rows),
+            "laser_fn": sum(r.laser_fn for r in self.rows),
+            "laser_fp": sum(r.laser_fp for r in self.rows),
+            "vtune_fn": sum(r.vtune_fn for r in self.rows),
+            "vtune_fp": sum(r.vtune_fp for r in self.rows),
+            "sheriff_fn": sum(r.sheriff_fn or 0 for r in self.rows),
+            "sheriff_fp": sum(r.sheriff_fp or 0 for r in self.rows),
+        }
+        return out
+
+    def row_for(self, name: str) -> Optional[AccuracyRow]:
+        for row in self.rows:
+            if row.name == name:
+                return row
+        return None
+
+    def render(self) -> str:
+        headers = ["benchmark", "bugs", "LASER FN", "LASER FP",
+                   "VTune FN", "VTune FP", "Sheriff FN", "Sheriff FP"]
+        body = [row.cells() for row in self.rows]
+        totals = self.totals
+        body.append([
+            "Total", str(totals["bugs"]),
+            str(totals["laser_fn"]), str(totals["laser_fp"]),
+            str(totals["vtune_fn"]), str(totals["vtune_fp"]),
+            str(totals["sheriff_fn"]), str(totals["sheriff_fp"]),
+        ])
+        return render_table(headers, body,
+                            title="Table 1: detection accuracy (FN/FP)")
+
+
+def _laser_report(workload: Workload, seed: int, scale: float,
+                  config: Optional[LaserConfig]) -> ContentionReport:
+    return run_laser_on(workload, seed=seed, scale=scale, config=config).report
+
+
+def run_accuracy(workloads: Optional[List[Workload]] = None, seed: int = 0,
+                 scale: float = 1.0,
+                 config: Optional[LaserConfig] = None) -> AccuracyResult:
+    """Reproduce Table 1 over ``workloads`` (default: all 35)."""
+    rows = []
+    for workload in workloads or all_workloads():
+        bug_count = getattr(workload, "TABLE1_BUG_COUNT", len(workload.bugs))
+        row = AccuracyRow(workload.name, bug_count)
+
+        laser_report = _laser_report(workload, seed, scale, config)
+        laser_score = score_report_lines(
+            workload, laser_report.reported_locations()
+        )
+        row.laser_fn = laser_score["fn"]
+        row.laser_fp = laser_score["fp"]
+
+        vtune = VTuneProfiler(seed=seed).run_workload(workload, scale=scale)
+        vtune_score = score_report_lines(workload, vtune.reported_locations())
+        row.vtune_fn = vtune_score["fn"]
+        row.vtune_fp = vtune_score["fp"]
+
+        try:
+            sheriff = run_sheriff(workload, SheriffMode.DETECT, seed=seed,
+                                  scale=scale, allow_reduced_input=False)
+            # Site-level reports never match line-level bugs.
+            row.sheriff_fn = len(workload.bugs)
+            row.sheriff_fp = len(sheriff.reported_sites)
+        except SheriffIncompatible:
+            row.sheriff_status = "incompatible"
+        except SheriffCrash:
+            row.sheriff_status = "crash"
+        rows.append(row)
+    return AccuracyResult(rows)
+
+
+class ContentionTypeRow:
+    """One Table 2 row: actual vs. reported contention type."""
+
+    def __init__(self, name: str, actual: str, laser: str, sheriff: str):
+        self.name = name
+        self.actual = actual
+        self.laser = laser
+        self.sheriff = sheriff
+
+    @property
+    def laser_correct(self) -> bool:
+        return self.laser == self.actual
+
+
+class ContentionTypeResult:
+    def __init__(self, rows: List[ContentionTypeRow]):
+        self.rows = rows
+
+    @property
+    def correct_count(self) -> int:
+        return sum(1 for row in self.rows if row.laser_correct)
+
+    def row_for(self, name: str) -> Optional[ContentionTypeRow]:
+        for row in self.rows:
+            if row.name == name:
+                return row
+        return None
+
+    def render(self) -> str:
+        headers = ["benchmark", "contention", "LASERDETECT", "SheriffDet"]
+        body = [[r.name, r.actual, r.laser, r.sheriff] for r in self.rows]
+        table = render_table(headers, body,
+                             title="Table 2: contention type per bug")
+        return table + "\nLASER correct for %d of %d" % (
+            self.correct_count, len(self.rows),
+        )
+
+
+def run_contention_type(seed: int = 0, scale: float = 1.0,
+                        config: Optional[LaserConfig] = None) -> ContentionTypeResult:
+    """Reproduce Table 2 over the workloads with performance bugs."""
+    rows = []
+    for workload in all_workloads():
+        if not workload.bugs:
+            continue
+        report = _laser_report(workload, seed, scale, config)
+        # LASER's verdict for the benchmark: the class of the hottest
+        # reported line that belongs to a database bug.
+        laser_class = ContentionClass.UNKNOWN
+        for line in report.lines:
+            if any(bug.covers(line.location) for bug in workload.bugs):
+                laser_class = line.contention_class
+                break
+        actual = workload.bugs[0].kind.value
+
+        try:
+            sheriff = run_sheriff(workload, SheriffMode.DETECT, seed=seed,
+                                  scale=scale, allow_reduced_input=False)
+            sheriff_cell = "FS" if sheriff.reported_sites else "-"
+        except SheriffIncompatible:
+            sheriff_cell = "i"
+        except SheriffCrash:
+            sheriff_cell = "x"
+        rows.append(
+            ContentionTypeRow(workload.name, actual, laser_class.value,
+                              sheriff_cell)
+        )
+    return ContentionTypeResult(rows)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_accuracy().render())
+    print()
+    print(run_contention_type().render())

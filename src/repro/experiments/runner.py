@@ -1,0 +1,70 @@
+"""Shared run helpers for the experiment harnesses.
+
+The paper presents performance as "the average of 10 runs, after
+excluding the slowest and fastest runs"; we do the same with seeds
+(default 5 runs, trimmed), since seed variation is our analog of
+run-to-run variation.
+"""
+
+from typing import Callable, List, Optional
+
+from repro.core.config import LaserConfig
+from repro.core.laser import Laser, LaserRunResult
+from repro.sim.machine import Machine, RunResult
+from repro.workloads.base import BuiltWorkload, Workload
+
+__all__ = [
+    "run_native",
+    "run_built_native",
+    "run_laser_on",
+    "native_cycles",
+    "average_cycles",
+    "trimmed_mean",
+    "DEFAULT_RUNS",
+]
+
+DEFAULT_RUNS = 5
+
+
+def run_built_native(built: BuiltWorkload, seed: int = 0,
+                     max_cycles: int = 200_000_000) -> RunResult:
+    """Execute a built workload with no monitoring attached."""
+    machine = Machine(built.program, seed=seed, allocator=built.allocator)
+    built.apply_init(machine)
+    return machine.run(max_cycles=max_cycles)
+
+
+def run_native(workload: Workload, seed: int = 0,
+               scale: float = 1.0) -> RunResult:
+    built = workload.build(heap_offset=0, seed=seed, scale=scale)
+    return run_built_native(built, seed=seed)
+
+
+def run_laser_on(workload: Workload, seed: int = 0, scale: float = 1.0,
+                 config: Optional[LaserConfig] = None) -> LaserRunResult:
+    cfg = (config or LaserConfig()).replace(seed=seed)
+    return Laser(cfg).run_workload(workload, scale=scale)
+
+
+def trimmed_mean(values: List[float]) -> float:
+    """Mean after dropping the min and max (the paper's averaging)."""
+    if not values:
+        raise ValueError("no values to average")
+    if len(values) <= 2:
+        return sum(values) / len(values)
+    ordered = sorted(values)
+    trimmed = ordered[1:-1]
+    return sum(trimmed) / len(trimmed)
+
+
+def average_cycles(run: Callable[[int], int], runs: int = DEFAULT_RUNS) -> float:
+    """Trimmed-mean cycles of ``run(seed)`` over ``runs`` seeds."""
+    return trimmed_mean([float(run(seed)) for seed in range(runs)])
+
+
+def native_cycles(workload: Workload, scale: float = 1.0,
+                  runs: int = DEFAULT_RUNS) -> float:
+    return average_cycles(
+        lambda seed: run_native(workload, seed=seed, scale=scale).cycles,
+        runs=runs,
+    )

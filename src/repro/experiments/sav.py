@@ -1,0 +1,70 @@
+"""Figure 13: the effect of the sample-after value on dedup's runtime.
+
+The paper sweeps SAV from 1 to 31 (1 and all primes — "experience
+reports ... suggest that prime numbers are good SAV choices") on dedup,
+the benchmark most sensitive to sampling: per-event recording (SAV=1)
+costs ~50% runtime, modest sampling brings it down to ~6% at the
+default SAV=19, with no marginal benefit beyond.
+"""
+
+from typing import List, Optional, Tuple
+
+from repro.core.config import LaserConfig
+from repro.experiments.runner import (
+    DEFAULT_RUNS,
+    run_laser_on,
+    run_native,
+    trimmed_mean,
+)
+from repro.experiments.tables import render_table
+from repro.workloads.registry import get_workload
+
+__all__ = ["SAV_VALUES", "SavResult", "run_sav_sweep"]
+
+#: 1 plus every prime up to 31 (the paper's sweep).
+SAV_VALUES = [1, 2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31]
+
+
+class SavResult:
+    def __init__(self, benchmark: str, points: List[Tuple[int, float]]):
+        self.benchmark = benchmark
+        #: [(sav, normalized runtime)]
+        self.points = points
+
+    def normalized_at(self, sav: int) -> float:
+        for s, norm in self.points:
+            if s == sav:
+                return norm
+        raise KeyError(sav)
+
+    def render(self) -> str:
+        headers = ["SAV", "normalized runtime"]
+        body = [[str(s), "%.3f" % n] for s, n in self.points]
+        return render_table(
+            headers, body,
+            title="Figure 13: %s runtime vs sample-after value" % self.benchmark,
+        )
+
+
+def run_sav_sweep(benchmark: str = "dedup", runs: int = 3,
+                  scale: float = 1.0,
+                  sav_values: Optional[List[int]] = None) -> SavResult:
+    workload = get_workload(benchmark)
+    native = trimmed_mean([
+        float(run_native(workload, seed=s, scale=scale).cycles)
+        for s in range(runs)
+    ])
+    points = []
+    for sav in sav_values or SAV_VALUES:
+        config = LaserConfig(sample_after_value=sav, repair_enabled=False)
+        cycles = trimmed_mean([
+            float(run_laser_on(workload, seed=s, scale=scale,
+                               config=config).cycles)
+            for s in range(runs)
+        ])
+        points.append((sav, cycles / native))
+    return SavResult(benchmark, points)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_sav_sweep().render())

@@ -1,0 +1,128 @@
+"""Figure 14: LASER vs. manual fixes vs. the Sheriff schemes.
+
+Normalized runtime of LASER, the manually-fixed binaries (where a fix
+exists), Sheriff-Detect and Sheriff-Protect, for the benchmarks where
+at least one Sheriff scheme runs.  An "x" marks a runtime error — and,
+as in the paper, four benchmarks (marked "*") only run under Sheriff
+with the reduced simlarge input.
+
+The paper's shapes this experiment reproduces:
+
+* Sheriff *fixes* histogram' and linear_regression even though
+  Sheriff-Detect detects nothing in them (the private address spaces
+  physically remove false sharing);
+* on synchronization-heavy code (water_nsquared) the threads-as-
+  processes execution model collapses;
+* LASER is uniformly low-overhead.
+"""
+
+from typing import Dict, List, Optional
+
+from repro.baselines.sheriff import SheriffMode, run_sheriff
+from repro.core.config import LaserConfig
+from repro.errors import SheriffCrash, SheriffIncompatible
+from repro.experiments.runner import (
+    run_built_native,
+    run_laser_on,
+    run_native,
+)
+from repro.experiments.tables import render_table
+from repro.workloads.base import SheriffSupport
+from repro.workloads.registry import all_workloads
+
+__all__ = ["SheriffComparisonRow", "SheriffComparisonResult",
+           "run_sheriff_comparison", "FIGURE14_BENCHMARKS"]
+
+#: The benchmarks of Figure 14 ("*" = Sheriff needs the reduced input).
+FIGURE14_BENCHMARKS = [
+    "blackscholes", "ferret", "histogram", "histogram'", "kmeans",
+    "linear_regression", "lu_cb", "lu_ncb", "matrix_multiply", "pca",
+    "radix", "raytrace.splash2x", "reverse_index", "string_match",
+    "swaptions", "water_nsquared", "water_spatial",
+]
+
+
+class SheriffComparisonRow:
+    def __init__(self, name: str, reduced_input: bool):
+        self.name = name
+        self.reduced_input = reduced_input
+        self.laser: Optional[float] = None
+        self.manual: Optional[float] = None
+        self.sheriff_detect: Optional[float] = None  # None -> x
+        self.sheriff_protect: Optional[float] = None
+
+    @staticmethod
+    def _cell(value: Optional[float]) -> str:
+        return "x" if value is None else "%.3f" % value
+
+    def cells(self) -> List[str]:
+        label = self.name + ("*" if self.reduced_input else "")
+        return [
+            label,
+            "%.3f" % self.laser,
+            "-" if self.manual is None else "%.3f" % self.manual,
+            self._cell(self.sheriff_detect),
+            self._cell(self.sheriff_protect),
+        ]
+
+
+class SheriffComparisonResult:
+    def __init__(self, rows: List[SheriffComparisonRow]):
+        self.rows = rows
+
+    def row_for(self, name: str) -> Optional[SheriffComparisonRow]:
+        for row in self.rows:
+            if row.name == name:
+                return row
+        return None
+
+    def render(self) -> str:
+        headers = ["benchmark", "LASER", "manual fix",
+                   "Sheriff-Detect", "Sheriff-Protect"]
+        return render_table(
+            headers, [row.cells() for row in self.rows],
+            title="Figure 14: normalized runtime (lower is better; "
+                  "x = runtime error, * = reduced input for Sheriff)",
+        )
+
+
+def run_sheriff_comparison(names=None, seed: int = 0, scale: float = 1.0,
+                           config: Optional[LaserConfig] = None) -> SheriffComparisonResult:
+    from repro.workloads.registry import get_workload
+
+    rows = []
+    for name in names or FIGURE14_BENCHMARKS:
+        workload = get_workload(name)
+        reduced = (
+            workload.sheriff_support is SheriffSupport.CRASH
+            and workload.sheriff_reduced_input_ok
+        )
+        row = SheriffComparisonRow(name, reduced)
+        # Sheriff normalizes against native at the input Sheriff uses.
+        sheriff_scale = scale * 0.5 if reduced else scale
+        native = run_native(workload, seed=seed, scale=scale).cycles
+        sheriff_native = (
+            run_native(workload, seed=seed, scale=sheriff_scale).cycles
+            if reduced else native
+        )
+
+        row.laser = run_laser_on(workload, seed=seed, scale=scale,
+                                 config=config).cycles / native
+
+        fixed = workload.build_fixed(heap_offset=0, seed=seed, scale=scale)
+        if fixed is not None:
+            row.manual = run_built_native(fixed, seed=seed).cycles / native
+
+        for mode, attr in ((SheriffMode.DETECT, "sheriff_detect"),
+                           (SheriffMode.PROTECT, "sheriff_protect")):
+            try:
+                result = run_sheriff(workload, mode, seed=seed, scale=scale)
+                setattr(row, attr, result.cycles / sheriff_native)
+            except (SheriffCrash, SheriffIncompatible):
+                setattr(row, attr, None)
+        rows.append(row)
+    return SheriffComparisonResult(rows)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_sheriff_comparison().render())

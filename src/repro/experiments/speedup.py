@@ -1,0 +1,99 @@
+"""Figure 11: speedups from automatic repair and from manual fixes.
+
+Left (automatic): workloads LASERREPAIR accelerates online — the paper
+reports linear_regression 16% and histogram' 19% faster under LASER.
+Right (manual): speedups from source fixes guided by LASERDETECT's
+reports — dedup 1.16x (lock-free queue), histogram' 5.8x (padding),
+kmeans 1.05x (stack-allocated sums), linear_regression 16.9x
+(alignment), lu_ncb 1.36x (alignment), reverse_index 1.04x (padding).
+"""
+
+from typing import List, Optional
+
+from repro.core.config import LaserConfig
+from repro.experiments.runner import (
+    DEFAULT_RUNS,
+    run_built_native,
+    run_laser_on,
+    run_native,
+    trimmed_mean,
+)
+from repro.experiments.tables import render_table
+from repro.workloads.registry import get_workload
+
+__all__ = ["SpeedupEntry", "SpeedupResult", "run_speedups",
+           "AUTOMATIC_BENCHMARKS", "MANUAL_BENCHMARKS"]
+
+#: Workloads whose false sharing LASERREPAIR fixes online (Figure 11 left).
+AUTOMATIC_BENCHMARKS = ["histogram'", "linear_regression"]
+
+#: Workloads with manual fixes guided by LASERDETECT (Figure 11 right).
+MANUAL_BENCHMARKS = ["dedup", "histogram'", "kmeans", "linear_regression",
+                     "lu_ncb", "reverse_index"]
+
+
+class SpeedupEntry:
+    def __init__(self, name: str, kind: str, speedup: float,
+                 repaired: bool = False):
+        self.name = name
+        self.kind = kind  # "automatic" | "manual"
+        self.speedup = speedup
+        self.repaired = repaired
+
+
+class SpeedupResult:
+    def __init__(self, entries: List[SpeedupEntry]):
+        self.entries = entries
+
+    def entry_for(self, name: str, kind: str) -> Optional[SpeedupEntry]:
+        for entry in self.entries:
+            if entry.name == name and entry.kind == kind:
+                return entry
+        return None
+
+    def render(self) -> str:
+        headers = ["benchmark", "kind", "speedup"]
+        body = [
+            [e.name, e.kind, "%.2fx" % e.speedup] for e in self.entries
+        ]
+        return render_table(headers, body,
+                            title="Figure 11: repair speedups (higher is better)")
+
+
+def run_speedups(runs: int = DEFAULT_RUNS, scale: float = 1.0,
+                 config: Optional[LaserConfig] = None) -> SpeedupResult:
+    entries = []
+    for name in AUTOMATIC_BENCHMARKS:
+        workload = get_workload(name)
+        native = trimmed_mean([
+            float(run_native(workload, seed=s, scale=scale).cycles)
+            for s in range(runs)
+        ])
+        laser_runs = [
+            run_laser_on(workload, seed=s, scale=scale, config=config)
+            for s in range(runs)
+        ]
+        laser = trimmed_mean([float(r.cycles) for r in laser_runs])
+        entries.append(SpeedupEntry(
+            name, "automatic", native / laser,
+            repaired=any(r.repaired for r in laser_runs),
+        ))
+    for name in MANUAL_BENCHMARKS:
+        workload = get_workload(name)
+        native = trimmed_mean([
+            float(run_native(workload, seed=s, scale=scale).cycles)
+            for s in range(runs)
+        ])
+        fixed_cycles = []
+        for s in range(runs):
+            built = workload.build_fixed(heap_offset=0, seed=s, scale=scale)
+            if built is None:
+                raise ValueError("%s has no manual fix" % name)
+            fixed_cycles.append(float(run_built_native(built, seed=s).cycles))
+        fixed = trimmed_mean(fixed_cycles)
+        entries.append(SpeedupEntry(name, "manual", native / fixed))
+    return SpeedupResult(entries)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_speedups(runs=3).render())

@@ -1,0 +1,59 @@
+"""ASCII rendering helpers for experiment tables and figures."""
+
+from typing import List, Sequence
+
+__all__ = ["render_table", "render_bars", "geomean"]
+
+
+def render_table(headers: Sequence[str], rows: List[Sequence[object]],
+                 title: str = "") -> str:
+    """Fixed-width ASCII table."""
+    columns = len(headers)
+    widths = [len(str(h)) for h in headers]
+    text_rows = []
+    for row in rows:
+        cells = [str(cell) for cell in row]
+        if len(cells) != columns:
+            raise ValueError("row width mismatch: %r" % (row,))
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+        text_rows.append(cells)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(columns)))
+    for cells in text_rows:
+        lines.append("  ".join(cells[i].ljust(widths[i]) for i in range(columns)))
+    return "\n".join(lines)
+
+
+def render_bars(labels: Sequence[str], values: Sequence[float],
+                title: str = "", width: int = 48,
+                fmt: str = "%.3f") -> str:
+    """Horizontal ASCII bar chart (the 'figure' renderer)."""
+    if len(labels) != len(values):
+        raise ValueError("labels/values length mismatch")
+    peak = max(values) if values else 1.0
+    label_width = max((len(l) for l in labels), default=0)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(round(width * value / peak))) if peak > 0 else ""
+        lines.append(
+            "%s  %s %s" % (label.ljust(label_width), (fmt % value).rjust(8), bar)
+        )
+    return "\n".join(lines)
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (the paper's summary statistic for Figure 10)."""
+    if not values:
+        raise ValueError("no values")
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise ValueError("geomean requires positive values")
+        product *= value
+    return product ** (1.0 / len(values))

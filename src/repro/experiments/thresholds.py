@@ -1,0 +1,73 @@
+"""Figure 9: detection accuracy vs. the rate threshold.
+
+The paper sweeps LASERDETECT's rate threshold from 32 to 64K HITMs/sec
+(log scale) and counts total false positives and false negatives across
+the suite.  Because thresholds are applied at *report* time, the sweep
+needs only one monitored run per workload — the reports are re-cut
+offline, exactly as Section 4.2 describes.
+"""
+
+from typing import List, Optional, Tuple
+
+from repro.core.config import LaserConfig
+from repro.experiments.accuracy import score_report_lines
+from repro.experiments.runner import run_laser_on
+from repro.experiments.tables import render_table
+from repro.workloads.registry import all_workloads
+
+__all__ = ["THRESHOLDS", "ThresholdSweepResult", "run_threshold_sweep"]
+
+#: 32 ... 64K, doubling (the paper's log-scale x axis).
+THRESHOLDS = [32 * (2 ** i) for i in range(12)]
+
+
+class ThresholdSweepResult:
+    def __init__(self, points: List[Tuple[float, int, int]],
+                 default_threshold: float):
+        #: [(threshold, false_positives, false_negatives)]
+        self.points = points
+        self.default_threshold = default_threshold
+
+    def at(self, threshold: float) -> Tuple[int, int]:
+        for t, fp, fn in self.points:
+            if t == threshold:
+                return fp, fn
+        raise KeyError(threshold)
+
+    def render(self) -> str:
+        headers = ["threshold (HITM/s)", "false positives", "false negatives"]
+        body = []
+        for t, fp, fn in self.points:
+            marker = "  <- default" if t == self.default_threshold else ""
+            body.append(["%g%s" % (t, marker), str(fp), str(fn)])
+        return render_table(headers, body,
+                            title="Figure 9: accuracy vs rate threshold")
+
+
+def run_threshold_sweep(workloads=None, seed: int = 0, scale: float = 1.0,
+                        thresholds: Optional[List[float]] = None,
+                        config: Optional[LaserConfig] = None) -> ThresholdSweepResult:
+    cfg = config or LaserConfig()
+    sweep = [float(t) for t in (thresholds or THRESHOLDS)]
+    # One monitored run per workload; keep the full pipelines around and
+    # re-cut their reports per threshold.
+    monitored = []
+    for workload in workloads or all_workloads():
+        result = run_laser_on(workload, seed=seed, scale=scale, config=cfg)
+        monitored.append((workload, result))
+
+    points = []
+    for threshold in sweep:
+        total_fp = 0
+        total_fn = 0
+        for workload, result in monitored:
+            report = result.pipeline.report(result.cycles, threshold)
+            score = score_report_lines(workload, report.reported_locations())
+            total_fp += score["fp"]
+            total_fn += score["fn"]
+        points.append((threshold, total_fp, total_fn))
+    return ThresholdSweepResult(points, cfg.rate_threshold)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_threshold_sweep().render())

@@ -1,0 +1,256 @@
+"""A small assembler DSL for building thread code.
+
+Workloads construct per-thread instruction streams through this builder.
+Operands may be written as ``"r3"`` strings, :class:`Operand` objects, or
+plain Python ints (immediates).  Branch targets are labels, resolved to
+instruction indices by :meth:`Assembler.build`.
+
+Example::
+
+    asm = Assembler("worker")
+    asm.at("lreg.c", 88)
+    asm.mov("r1", args_base)
+    asm.label("loop")
+    asm.load("r2", "r1", offset=24, size=8)   # load SX
+    asm.add("r2", "r2", 1)
+    asm.store("r1", "r2", offset=24, size=8)  # store SX
+    asm.sub("r0", "r0", 1)
+    asm.bne("r0", 0, "loop")
+    asm.halt()
+    code = asm.build()
+"""
+
+from typing import Dict, List, Optional, Union
+
+from repro.errors import AssemblyError
+from repro.isa.instructions import Instruction, Opcode, Operand, imm, reg
+from repro.isa.program import SourceLocation, ThreadCode
+
+__all__ = ["Assembler"]
+
+OperandLike = Union[Operand, int, str]
+
+
+def _as_operand(value: OperandLike) -> Operand:
+    """Coerce ``value`` to an Operand (str "rN" -> register, int -> imm)."""
+    if isinstance(value, Operand):
+        return value
+    if isinstance(value, str):
+        if value.startswith("r") and value[1:].isdigit():
+            return reg(int(value[1:]))
+        raise AssemblyError("bad operand string: %r" % value)
+    if isinstance(value, int):
+        return imm(value)
+    raise AssemblyError("bad operand: %r" % (value,))
+
+
+def _as_reg_index(value: Union[int, str, Operand]) -> int:
+    """Coerce ``value`` to a destination register index."""
+    if isinstance(value, Operand):
+        if not value.is_reg:
+            raise AssemblyError("destination must be a register: %r" % value)
+        return value.value
+    if isinstance(value, str) and value.startswith("r") and value[1:].isdigit():
+        return int(value[1:])
+    if isinstance(value, int):
+        return value
+    raise AssemblyError("bad destination register: %r" % (value,))
+
+
+class Assembler:
+    """Incrementally builds a :class:`ThreadCode`."""
+
+    def __init__(self, name: str = "thread"):
+        self.name = name
+        self._instructions: List[Instruction] = []
+        self._labels: Dict[str, int] = {}
+        self._loc: Optional[SourceLocation] = None
+        self._region = "app"
+
+    # ------------------------------------------------------------------
+    # Context: source locations and code regions
+    # ------------------------------------------------------------------
+
+    def at(self, file: str, line: int) -> "Assembler":
+        """Set the source location attached to subsequent instructions."""
+        self._loc = SourceLocation(file, line)
+        return self
+
+    def in_region(self, region: str) -> "Assembler":
+        """Mark subsequent instructions as app/lib code (for the memory map)."""
+        if region not in ("app", "lib"):
+            raise AssemblyError("unknown code region: %r" % region)
+        self._region = region
+        return self
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+
+    def _emit(self, inst: Instruction) -> Instruction:
+        inst.loc = self._loc
+        inst.region = self._region
+        self._instructions.append(inst)
+        return inst
+
+    def label(self, name: str) -> "Assembler":
+        """Define a branch target at the next instruction."""
+        if name in self._labels:
+            raise AssemblyError("duplicate label: %r" % name)
+        self._labels[name] = len(self._instructions)
+        return self
+
+    # --- ALU ---
+
+    def mov(self, rd, src) -> Instruction:
+        return self._emit(
+            Instruction(Opcode.MOV, rd=_as_reg_index(rd), a=_as_operand(src))
+        )
+
+    def _alu(self, op: Opcode, rd, a, b) -> Instruction:
+        return self._emit(
+            Instruction(op, rd=_as_reg_index(rd), a=_as_operand(a), b=_as_operand(b))
+        )
+
+    def add(self, rd, a, b) -> Instruction:
+        return self._alu(Opcode.ADD, rd, a, b)
+
+    def sub(self, rd, a, b) -> Instruction:
+        return self._alu(Opcode.SUB, rd, a, b)
+
+    def mul(self, rd, a, b) -> Instruction:
+        return self._alu(Opcode.MUL, rd, a, b)
+
+    def div(self, rd, a, b) -> Instruction:
+        return self._alu(Opcode.DIV, rd, a, b)
+
+    def and_(self, rd, a, b) -> Instruction:
+        return self._alu(Opcode.AND, rd, a, b)
+
+    def or_(self, rd, a, b) -> Instruction:
+        return self._alu(Opcode.OR, rd, a, b)
+
+    def xor(self, rd, a, b) -> Instruction:
+        return self._alu(Opcode.XOR, rd, a, b)
+
+    def shl(self, rd, a, b) -> Instruction:
+        return self._alu(Opcode.SHL, rd, a, b)
+
+    def shr(self, rd, a, b) -> Instruction:
+        return self._alu(Opcode.SHR, rd, a, b)
+
+    # --- memory ---
+
+    def load(self, rd, addr, offset: int = 0, size: int = 8) -> Instruction:
+        return self._emit(
+            Instruction(
+                Opcode.LOAD,
+                rd=_as_reg_index(rd),
+                a=_as_operand(addr),
+                offset=offset,
+                size=size,
+            )
+        )
+
+    def store(self, addr, src, offset: int = 0, size: int = 8) -> Instruction:
+        return self._emit(
+            Instruction(
+                Opcode.STORE,
+                a=_as_operand(addr),
+                b=_as_operand(src),
+                offset=offset,
+                size=size,
+            )
+        )
+
+    def addm(self, addr, src, offset: int = 0, size: int = 8) -> Instruction:
+        """Memory-destination add (`add src, (addr)`): non-atomic RMW."""
+        return self._emit(
+            Instruction(
+                Opcode.ADDM,
+                a=_as_operand(addr),
+                b=_as_operand(src),
+                offset=offset,
+                size=size,
+            )
+        )
+
+    def cmpxchg(self, rd, addr, expected, desired, offset: int = 0, size: int = 8) -> Instruction:
+        """Atomic compare-and-swap; ``rd`` receives the old value."""
+        return self._emit(
+            Instruction(
+                Opcode.CMPXCHG,
+                rd=_as_reg_index(rd),
+                a=_as_operand(addr),
+                b=_as_operand(expected),
+                c=_as_operand(desired),
+                offset=offset,
+                size=size,
+            )
+        )
+
+    def xadd(self, rd, addr, src, offset: int = 0, size: int = 8) -> Instruction:
+        """Atomic fetch-and-add; ``rd`` receives the old value."""
+        return self._emit(
+            Instruction(
+                Opcode.XADD,
+                rd=_as_reg_index(rd),
+                a=_as_operand(addr),
+                b=_as_operand(src),
+                offset=offset,
+                size=size,
+            )
+        )
+
+    def fence(self) -> Instruction:
+        return self._emit(Instruction(Opcode.FENCE))
+
+    # --- control ---
+
+    def _branch(self, op: Opcode, a, b, target: str) -> Instruction:
+        return self._emit(
+            Instruction(op, a=_as_operand(a), b=_as_operand(b), target=target)
+        )
+
+    def beq(self, a, b, target: str) -> Instruction:
+        return self._branch(Opcode.BEQ, a, b, target)
+
+    def bne(self, a, b, target: str) -> Instruction:
+        return self._branch(Opcode.BNE, a, b, target)
+
+    def blt(self, a, b, target: str) -> Instruction:
+        return self._branch(Opcode.BLT, a, b, target)
+
+    def bge(self, a, b, target: str) -> Instruction:
+        return self._branch(Opcode.BGE, a, b, target)
+
+    def jmp(self, target: str) -> Instruction:
+        return self._emit(Instruction(Opcode.JMP, target=target))
+
+    # --- misc ---
+
+    def pause(self) -> Instruction:
+        return self._emit(Instruction(Opcode.PAUSE))
+
+    def nop(self) -> Instruction:
+        return self._emit(Instruction(Opcode.NOP))
+
+    def halt(self) -> Instruction:
+        return self._emit(Instruction(Opcode.HALT))
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+
+    def build(self) -> ThreadCode:
+        """Resolve labels and return the finished :class:`ThreadCode`."""
+        if not self._instructions:
+            raise AssemblyError("empty thread code: %s" % self.name)
+        for inst in self._instructions:
+            if inst.is_branch:
+                if inst.target not in self._labels:
+                    raise AssemblyError(
+                        "undefined label %r in %s" % (inst.target, self.name)
+                    )
+                inst.target = self._labels[inst.target]
+        return ThreadCode(self.name, self._instructions, dict(self._labels))

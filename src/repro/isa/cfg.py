@@ -1,0 +1,185 @@
+"""Control-flow graph construction and dominance analysis.
+
+LASERREPAIR's static analysis (Section 5.3) needs basic blocks, forward
+reachability and post-dominators to decide which memory operations to
+redirect through the SSB and where to place flush operations.  This
+module provides those facilities over a :class:`ThreadCode`.
+"""
+
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from repro.isa.instructions import Opcode
+from repro.isa.program import ThreadCode
+
+__all__ = ["BasicBlock", "ControlFlowGraph", "build_cfg"]
+
+#: Virtual exit node id used for post-dominance.
+EXIT = -1
+
+
+class BasicBlock:
+    """A maximal straight-line instruction range ``[start, end)``."""
+
+    __slots__ = ("index", "start", "end", "successors", "predecessors")
+
+    def __init__(self, index: int, start: int, end: int):
+        self.index = index
+        self.start = start
+        self.end = end
+        self.successors: List[int] = []
+        self.predecessors: List[int] = []
+
+    def instruction_indices(self):
+        return range(self.start, self.end)
+
+    def __repr__(self):
+        return "<BB%d [%d,%d) -> %s>" % (
+            self.index,
+            self.start,
+            self.end,
+            self.successors,
+        )
+
+
+class ControlFlowGraph:
+    """CFG of one thread's code, with dominance queries."""
+
+    def __init__(self, code: ThreadCode, blocks: List[BasicBlock]):
+        self.code = code
+        self.blocks = blocks
+        self._block_of_inst: Dict[int, int] = {}
+        for block in blocks:
+            for i in block.instruction_indices():
+                self._block_of_inst[i] = block.index
+        self._postdom: Optional[Dict[int, FrozenSet[int]]] = None
+        self._dom: Optional[Dict[int, FrozenSet[int]]] = None
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+
+    def block_of_instruction(self, inst_index: int) -> BasicBlock:
+        return self.blocks[self._block_of_inst[inst_index]]
+
+    def exit_blocks(self) -> List[BasicBlock]:
+        """Blocks with no successors (they end in HALT or fall off)."""
+        return [b for b in self.blocks if not b.successors]
+
+    def reachable_from(self, block_indices: Set[int]) -> Set[int]:
+        """Forward-reachable block set, including the seeds."""
+        seen = set(block_indices)
+        work = list(block_indices)
+        while work:
+            current = work.pop()
+            for succ in self.blocks[current].successors:
+                if succ not in seen:
+                    seen.add(succ)
+                    work.append(succ)
+        return seen
+
+    # ------------------------------------------------------------------
+    # Dominance
+    # ------------------------------------------------------------------
+
+    def _solve_dominance(self, forward: bool) -> Dict[int, FrozenSet[int]]:
+        """Iterative dominator solve.
+
+        ``forward=True`` computes dominators from the entry block;
+        ``forward=False`` computes post-dominators toward a virtual exit
+        node that succeeds every exit block.
+        """
+        node_ids = [b.index for b in self.blocks]
+        if forward:
+            roots = {0}
+            preds = {b.index: list(b.predecessors) for b in self.blocks}
+        else:
+            node_ids = node_ids + [EXIT]
+            roots = {EXIT}
+            # Reverse edges; exit blocks flow from the virtual exit.
+            preds = {b.index: list(b.successors) for b in self.blocks}
+            preds[EXIT] = []
+            for block in self.exit_blocks():
+                preds[block.index].append(EXIT)
+
+        universe = frozenset(node_ids)
+        dom: Dict[int, FrozenSet[int]] = {}
+        for node in node_ids:
+            dom[node] = frozenset({node}) if node in roots else universe
+
+        changed = True
+        while changed:
+            changed = False
+            for node in node_ids:
+                if node in roots:
+                    continue
+                pred_sets = [dom[p] for p in preds[node]]
+                if pred_sets:
+                    meet = frozenset.intersection(*pred_sets)
+                else:
+                    # Unreachable in this direction: dominated by everything.
+                    meet = universe
+                new = meet | {node}
+                if new != dom[node]:
+                    dom[node] = new
+                    changed = True
+        return dom
+
+    def dominators(self, block_index: int) -> FrozenSet[int]:
+        """The set of blocks dominating ``block_index`` (inclusive)."""
+        if self._dom is None:
+            self._dom = self._solve_dominance(forward=True)
+        return self._dom[block_index]
+
+    def post_dominators(self, block_index: int) -> FrozenSet[int]:
+        """Blocks post-dominating ``block_index`` (inclusive, may contain EXIT)."""
+        if self._postdom is None:
+            self._postdom = self._solve_dominance(forward=False)
+        return self._postdom[block_index]
+
+    def common_post_dominators(self, block_indices: Set[int]) -> FrozenSet[int]:
+        """Blocks that post-dominate every block in ``block_indices``."""
+        sets = [self.post_dominators(i) for i in block_indices]
+        if not sets:
+            return frozenset()
+        return frozenset.intersection(*sets)
+
+
+def build_cfg(code: ThreadCode) -> ControlFlowGraph:
+    """Partition ``code`` into basic blocks and wire the edges."""
+    instructions = code.instructions
+    n = len(instructions)
+
+    leaders = {0}
+    for i, inst in enumerate(instructions):
+        if inst.is_branch:
+            leaders.add(inst.target)
+            if i + 1 < n:
+                leaders.add(i + 1)
+        elif inst.op is Opcode.HALT and i + 1 < n:
+            leaders.add(i + 1)
+
+    starts = sorted(leaders)
+    blocks: List[BasicBlock] = []
+    for bi, start in enumerate(starts):
+        end = starts[bi + 1] if bi + 1 < len(starts) else n
+        blocks.append(BasicBlock(bi, start, end))
+
+    start_to_block = {b.start: b.index for b in blocks}
+    for block in blocks:
+        last = instructions[block.end - 1]
+        if last.op is Opcode.HALT:
+            continue
+        if last.is_branch:
+            block.successors.append(start_to_block[last.target])
+            if last.op is not Opcode.JMP and block.end < n:
+                block.successors.append(start_to_block[block.end])
+        elif block.end < n:
+            block.successors.append(start_to_block[block.end])
+        # De-dup (a conditional branch to the fallthrough).
+        block.successors = sorted(set(block.successors))
+
+    for block in blocks:
+        for succ in block.successors:
+            blocks[succ].predecessors.append(block.index)
+
+    return ControlFlowGraph(code, blocks)

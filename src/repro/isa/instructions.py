@@ -1,0 +1,248 @@
+"""Instruction definitions for the mini-ISA.
+
+Instructions are small mutable objects (``__slots__`` for speed: the
+simulator interprets millions of them per experiment).  Operands are
+either registers or immediates, wrapped in :class:`Operand` so a single
+``value_of`` call resolves them against a register file.
+
+The opcode set mirrors the subset of x86 that matters to LASER:
+
+* data movement and ALU ops,
+* byte-granular ``LOAD``/``STORE`` (1, 2, 4 or 8 bytes),
+* atomic read-modify-writes (``CMPXCHG``, ``XADD``) that double as
+  fences under TSO,
+* ``FENCE`` (mfence),
+* conditional branches and ``JMP``,
+* ``PAUSE`` (spin-wait hint) and ``HALT``,
+* the SSB pseudo-ops that LASERREPAIR's rewriter injects:
+  ``SSB_LOAD``/``SSB_STORE``/``SSB_FLUSH``/``ALIAS_CHECK``.
+"""
+
+import enum
+from typing import Optional
+
+__all__ = ["Opcode", "Operand", "Instruction", "reg", "imm", "NUM_REGISTERS"]
+
+#: Number of general-purpose registers per core (x86-64 has 16).
+NUM_REGISTERS = 16
+
+#: Mask applied after arithmetic so registers behave as 64-bit values.
+WORD_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+class Opcode(enum.Enum):
+    """All operations the interpreter understands."""
+
+    MOV = "mov"
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    LOAD = "load"
+    STORE = "store"
+    ADDM = "addm"
+    CMPXCHG = "cmpxchg"
+    XADD = "xadd"
+    FENCE = "fence"
+    BEQ = "beq"
+    BNE = "bne"
+    BLT = "blt"
+    BGE = "bge"
+    JMP = "jmp"
+    PAUSE = "pause"
+    NOP = "nop"
+    HALT = "halt"
+    # --- pseudo-ops injected by LASERREPAIR's rewriter ---
+    SSB_LOAD = "ssb_load"
+    SSB_STORE = "ssb_store"
+    SSB_ADDM = "ssb_addm"
+    SSB_FLUSH = "ssb_flush"
+    ALIAS_CHECK = "alias_check"
+
+
+#: Opcodes that read program memory.
+LOAD_OPS = frozenset(
+    {Opcode.LOAD, Opcode.SSB_LOAD, Opcode.ADDM, Opcode.SSB_ADDM,
+     Opcode.CMPXCHG, Opcode.XADD}
+)
+
+#: Opcodes that write program memory.
+STORE_OPS = frozenset(
+    {Opcode.STORE, Opcode.SSB_STORE, Opcode.ADDM, Opcode.SSB_ADDM,
+     Opcode.CMPXCHG, Opcode.XADD}
+)
+
+#: Opcodes that are both loads and stores (x86 RMW; Section 4.3 notes
+#: these are a potential source of detector inaccuracy).  ADDM is the
+#: un-locked memory-destination add (`addq $1, (%reg)`), the idiom
+#: counter increments compile to.
+RMW_OPS = frozenset({Opcode.ADDM, Opcode.CMPXCHG, Opcode.XADD})
+
+#: Opcodes that order memory like an mfence under TSO.
+FENCE_OPS = frozenset({Opcode.FENCE, Opcode.CMPXCHG, Opcode.XADD})
+
+#: Opcodes that may transfer control.
+BRANCH_OPS = frozenset({Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE, Opcode.JMP})
+
+#: Conditional subset of BRANCH_OPS.
+COND_BRANCH_OPS = frozenset({Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE})
+
+
+class Operand:
+    """A register or immediate operand."""
+
+    __slots__ = ("is_reg", "value")
+
+    def __init__(self, is_reg: bool, value: int):
+        self.is_reg = is_reg
+        self.value = value
+
+    def value_of(self, registers) -> int:
+        """Resolve this operand against a register file (a list of ints)."""
+        if self.is_reg:
+            return registers[self.value]
+        return self.value
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Operand)
+            and self.is_reg == other.is_reg
+            and self.value == other.value
+        )
+
+    def __hash__(self):
+        return hash((self.is_reg, self.value))
+
+    def __repr__(self):
+        if self.is_reg:
+            return "r%d" % self.value
+        return "$%d" % self.value
+
+
+def reg(index: int) -> Operand:
+    """Build a register operand ``r<index>``."""
+    if not 0 <= index < NUM_REGISTERS:
+        raise ValueError("register index out of range: %d" % index)
+    return Operand(True, index)
+
+
+def imm(value: int) -> Operand:
+    """Build an immediate operand."""
+    return Operand(False, int(value))
+
+
+class Instruction:
+    """One decoded instruction.
+
+    Field usage by opcode family:
+
+    * ALU / MOV: ``rd``, ``a``, ``b`` (``b`` unused by MOV).
+    * LOAD: ``rd`` destination, address = ``a`` + ``offset``, ``size``.
+    * STORE: value = ``b``, address = ``a`` + ``offset``, ``size``.
+    * CMPXCHG: ``rd`` gets the old value; compares against ``b``, writes
+      ``c`` on success; address = ``a`` + ``offset``.
+    * XADD: ``rd`` gets the old value; adds ``b``; address = ``a`` +
+      ``offset``.
+    * Branches: compare ``a`` with ``b``, jump to ``target`` (an
+      instruction index after assembly; a label string before).
+    * ALIAS_CHECK: compares address ``a`` + ``offset`` against the store
+      address set captured by the repair runtime.
+
+    ``pc`` is the virtual address of the instruction in the simulated
+    binary; ``loc`` is its debug-info source location.
+    """
+
+    __slots__ = (
+        "op",
+        "rd",
+        "a",
+        "b",
+        "c",
+        "offset",
+        "size",
+        "target",
+        "pc",
+        "loc",
+        "region",
+    )
+
+    def __init__(
+        self,
+        op: Opcode,
+        rd: Optional[int] = None,
+        a: Optional[Operand] = None,
+        b: Optional[Operand] = None,
+        c: Optional[Operand] = None,
+        offset: int = 0,
+        size: int = 8,
+        target=None,
+        loc=None,
+        region: str = "app",
+    ):
+        self.op = op
+        self.rd = rd
+        self.a = a
+        self.b = b
+        self.c = c
+        self.offset = offset
+        self.size = size
+        self.target = target
+        self.pc = -1
+        self.loc = loc
+        self.region = region
+
+    @property
+    def is_load(self) -> bool:
+        return self.op in LOAD_OPS
+
+    @property
+    def is_store(self) -> bool:
+        return self.op in STORE_OPS
+
+    @property
+    def is_memory_op(self) -> bool:
+        return self.op in LOAD_OPS or self.op in STORE_OPS
+
+    @property
+    def is_fence(self) -> bool:
+        return self.op in FENCE_OPS
+
+    @property
+    def is_branch(self) -> bool:
+        return self.op in BRANCH_OPS
+
+    def copy(self) -> "Instruction":
+        """Return a field-for-field copy (used by the rewriter)."""
+        inst = Instruction(
+            self.op,
+            rd=self.rd,
+            a=self.a,
+            b=self.b,
+            c=self.c,
+            offset=self.offset,
+            size=self.size,
+            target=self.target,
+            loc=self.loc,
+            region=self.region,
+        )
+        inst.pc = self.pc
+        return inst
+
+    def __repr__(self):
+        parts = [self.op.value]
+        if self.rd is not None:
+            parts.append("r%d" % self.rd)
+        for operand in (self.a, self.b, self.c):
+            if operand is not None:
+                parts.append(repr(operand))
+        if self.is_memory_op:
+            parts.append("off=%d" % self.offset)
+            parts.append("sz=%d" % self.size)
+        if self.target is not None:
+            parts.append("-> %s" % (self.target,))
+        return "<%s>" % " ".join(parts)

@@ -1,0 +1,85 @@
+"""The LASER kernel driver model.
+
+Per Section 6: "The driver configures the chip's performance monitoring
+unit to record HITM events into per-core memory buffers.  The driver
+receives an interrupt whenever a per-core buffer is full, and empties
+the buffer by moving the records to an internal buffer that feeds into a
+kernel file-like device.  The driver removes irrelevant information from
+the HITM records ... and sends only the PC, data address, and
+originating core to the detector."
+
+The interrupt cost is charged to the core whose buffer filled; total
+driver CPU time is tracked separately for the Figure 12 breakdown.
+"""
+
+from typing import List
+
+from repro._constants import DRIVER_INTERRUPT_COST, NUM_CORES, PEBS_BUFFER_RECORDS
+from repro.pebs.events import PebsRecord, StrippedRecord
+
+__all__ = ["KernelDriver"]
+
+
+class KernelDriver:
+    """Per-core PEBS buffers draining into a detector-facing queue."""
+
+    def __init__(self, num_cores: int = NUM_CORES,
+                 buffer_records: int = PEBS_BUFFER_RECORDS,
+                 interrupt_cost: int = DRIVER_INTERRUPT_COST):
+        self.num_cores = num_cores
+        self.buffer_records = buffer_records
+        self.interrupt_cost = interrupt_cost
+        self._core_buffers: List[List[PebsRecord]] = [[] for _ in range(num_cores)]
+        self._outbox: List[StrippedRecord] = []
+        self.interrupts = 0
+        self.driver_cycles = 0
+        self.records_forwarded = 0
+
+    # ------------------------------------------------------------------
+    # PMU-facing side
+    # ------------------------------------------------------------------
+
+    def deliver(self, record: PebsRecord) -> int:
+        """Accept a record from the PMU; returns interrupt cost if any."""
+        buffer = self._core_buffers[record.core]
+        buffer.append(record)
+        if len(buffer) < self.buffer_records:
+            return 0
+        self._drain_core(record.core)
+        self.interrupts += 1
+        self.driver_cycles += self.interrupt_cost
+        return self.interrupt_cost
+
+    def _drain_core(self, core: int) -> None:
+        buffer = self._core_buffers[core]
+        for rec in buffer:
+            self._outbox.append(StrippedRecord.from_pebs(rec))
+            self.records_forwarded += 1
+        buffer.clear()
+
+    # ------------------------------------------------------------------
+    # Detector-facing side (the kernel file-like device)
+    # ------------------------------------------------------------------
+
+    def read_records(self) -> List[StrippedRecord]:
+        """Drain the outbox (the detector's read() on the device).
+
+        Records are merged across cores in timestamp order (Haswell PEBS
+        records carry a TSC field): without the merge, each interrupt
+        would deliver a burst of same-core records, and the detector's
+        cache line model would see artificial same-address runs.
+        """
+        out = self._outbox
+        self._outbox = []
+        out.sort(key=lambda record: record.cycle)
+        return out
+
+    def flush_all(self) -> List[StrippedRecord]:
+        """Final drain at application exit: empty every core buffer too."""
+        for core in range(self.num_cores):
+            self._drain_core(core)
+        return self.read_records()
+
+    @property
+    def pending_records(self) -> int:
+        return len(self._outbox) + sum(len(b) for b in self._core_buffers)

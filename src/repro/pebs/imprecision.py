@@ -1,0 +1,157 @@
+"""The Haswell HITM-record imprecision model.
+
+Section 3.1 characterizes (with >160 assembly test cases) how accurate
+the PC and data address in a Haswell HITM record actually are:
+
+* **Load-triggered** events (read of a remotely-Modified line,
+  Figure 1a) are fairly precise: ~75% of data addresses are correct; PCs
+  are exact ~40% of the time and within one adjacent instruction ~70% of
+  the time.
+* **Store-triggered** events (Figure 1c) still produce records ("total
+  event counts are very similar") but are *highly* inaccurate, "likely
+  due to the delayed completion of stores in the presence of store
+  buffers": exact PCs are rare, adjacent PCs reach ~34%.
+* Over 99% of incorrect PCs still land somewhere in the program binary;
+  95% of incorrect data addresses come from unmapped address space, the
+  rest from the stack or the kernel.
+
+This module reproduces those statistics.  Per-PC deterministic jitter
+(derived from a seeded hash of the PC) modulates the base probabilities
+so that individual test cases spread around the mean, as the scatter in
+Figure 3 shows, while remaining exactly reproducible.
+"""
+
+import random
+from typing import List, Tuple
+
+from repro.isa.program import PC_STRIDE
+from repro.rng import derive_seed
+from repro.sim.vmmap import KERNEL_BASE, STACK_SIZE, STACK_TOP
+
+__all__ = ["ImprecisionParams", "ImprecisionModel"]
+
+
+class ImprecisionParams:
+    """Base accuracy probabilities, before per-PC jitter."""
+
+    def __init__(
+        self,
+        load_addr_correct: float = 0.75,
+        load_pc_exact: float = 0.42,
+        load_pc_adjacent: float = 0.30,
+        store_addr_correct: float = 0.10,
+        store_pc_exact: float = 0.05,
+        store_pc_adjacent: float = 0.29,
+        wrong_pc_in_binary: float = 0.99,
+        wrong_addr_unmapped: float = 0.95,
+        per_pc_jitter: float = 0.15,
+    ):
+        self.load_addr_correct = load_addr_correct
+        self.load_pc_exact = load_pc_exact
+        self.load_pc_adjacent = load_pc_adjacent
+        self.store_addr_correct = store_addr_correct
+        self.store_pc_exact = store_pc_exact
+        self.store_pc_adjacent = store_pc_adjacent
+        self.wrong_pc_in_binary = wrong_pc_in_binary
+        self.wrong_addr_unmapped = wrong_addr_unmapped
+        self.per_pc_jitter = per_pc_jitter
+
+
+#: A synthetic "unmapped" address range used for garbage data addresses.
+UNMAPPED_BASE = 0x0000_5000_0000_0000
+UNMAPPED_SPAN = 0x0000_0FFF_0000_0000
+
+
+class ImprecisionModel:
+    """Distorts ground-truth (pc, addr) pairs the way Haswell does."""
+
+    def __init__(self, code_base: int, code_end: int,
+                 params: ImprecisionParams = None, seed: int = 0):
+        self.code_base = code_base
+        self.code_end = code_end
+        self.params = params or ImprecisionParams()
+        self._rng = random.Random(derive_seed(seed, "pebs-imprecision"))
+        self._pc_bias = {}
+
+    # ------------------------------------------------------------------
+    # Per-PC jitter: a deterministic bias in [-j, +j] per program counter
+    # ------------------------------------------------------------------
+
+    def _bias(self, pc: int) -> float:
+        bias = self._pc_bias.get(pc)
+        if bias is None:
+            j = self.params.per_pc_jitter
+            local = random.Random(derive_seed(pc, "pc-bias"))
+            bias = local.uniform(-j, j)
+            self._pc_bias[pc] = bias
+        return bias
+
+    @staticmethod
+    def _clamp(p: float) -> float:
+        return min(1.0, max(0.0, p))
+
+    # ------------------------------------------------------------------
+    # Distortion
+    # ------------------------------------------------------------------
+
+    def distort(self, pc: int, data_addr: int, store_triggered: bool) -> Tuple[int, int]:
+        """Return the (recorded_pc, recorded_addr) for a HITM event."""
+        p = self.params
+        bias = self._bias(pc)
+        if store_triggered:
+            p_addr = self._clamp(p.store_addr_correct + bias * 0.3)
+            p_exact = self._clamp(p.store_pc_exact + bias * 0.3)
+            p_adj = p.store_pc_adjacent
+        else:
+            p_addr = self._clamp(p.load_addr_correct + bias)
+            p_exact = self._clamp(p.load_pc_exact + bias)
+            p_adj = p.load_pc_adjacent
+
+        rng = self._rng
+        recorded_pc = self._distort_pc(pc, p_exact, p_adj, rng)
+        recorded_addr = self._distort_addr(data_addr, p_addr, rng)
+        return recorded_pc, recorded_addr
+
+    def _distort_pc(self, pc: int, p_exact: float, p_adj: float,
+                    rng: random.Random) -> int:
+        draw = rng.random()
+        if draw < p_exact:
+            return pc
+        if draw < p_exact + p_adj:
+            # Skid to the subsequent instruction (pre-Haswell-style skid,
+            # reduced to one instruction on Haswell).
+            adjacent = pc + PC_STRIDE
+            if adjacent >= self.code_end:
+                adjacent = pc - PC_STRIDE
+            return adjacent
+        if rng.random() < self.params.wrong_pc_in_binary:
+            # Somewhere else in the program's binary.
+            span = (self.code_end - self.code_base) // PC_STRIDE
+            return self.code_base + rng.randrange(span) * PC_STRIDE
+        # Entirely outside the binary.
+        return KERNEL_BASE + rng.randrange(0x10000) * PC_STRIDE
+
+    def _distort_addr(self, addr: int, p_correct: float,
+                      rng: random.Random) -> int:
+        if rng.random() < p_correct:
+            return addr
+        if rng.random() < self.params.wrong_addr_unmapped:
+            return UNMAPPED_BASE + rng.randrange(UNMAPPED_SPAN)
+        if rng.random() < 0.5:
+            # A stack address.
+            return STACK_TOP - rng.randrange(STACK_SIZE)
+        # A kernel address.
+        return KERNEL_BASE + rng.randrange(0x100000)
+
+    # ------------------------------------------------------------------
+    # Ground-truth helpers (used by the Figure 3 characterization)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def classify_pc(recorded_pc: int, true_pc: int) -> str:
+        """'exact', 'adjacent' or 'wrong' relative to the true PC."""
+        if recorded_pc == true_pc:
+            return "exact"
+        if abs(recorded_pc - true_pc) == PC_STRIDE:
+            return "adjacent"
+        return "wrong"

@@ -1,0 +1,77 @@
+"""Performance monitoring unit: HITM counting + PEBS sampling.
+
+The PMU is installed as the machine's ``on_hitm`` hook.  It counts HITM
+events per core (the pre-Haswell capability) and, when PEBS is enabled,
+materializes a record for every SAV-th event per core — setting the
+Sample-After Value to ``n`` means "every nth event is sampled"
+(Section 3).  Record materialization is a microcode assist charged to
+the triggering core; that cost is the hook's return value and becomes
+application slowdown.
+
+Records pass through the imprecision model before landing in the
+driver's per-core buffers.
+"""
+
+from typing import List, Optional
+
+from repro._constants import NUM_CORES, PEBS_RECORD_COST
+from repro.pebs.events import PebsRecord
+from repro.pebs.imprecision import ImprecisionModel
+
+__all__ = ["PerformanceMonitoringUnit"]
+
+
+class PerformanceMonitoringUnit:
+    """Per-core HITM counters plus PEBS record generation."""
+
+    def __init__(
+        self,
+        imprecision: ImprecisionModel,
+        driver=None,
+        sample_after_value: int = 19,
+        num_cores: int = NUM_CORES,
+        record_cost: int = PEBS_RECORD_COST,
+        pebs_enabled: bool = True,
+    ):
+        if sample_after_value < 1:
+            raise ValueError("SAV must be >= 1")
+        self.imprecision = imprecision
+        self.driver = driver
+        self.sample_after_value = sample_after_value
+        self.num_cores = num_cores
+        self.record_cost = record_cost
+        self.pebs_enabled = pebs_enabled
+        self.hitm_counts: List[int] = [0] * num_cores
+        self.records_generated = 0
+
+    # ------------------------------------------------------------------
+    # Machine hook
+    # ------------------------------------------------------------------
+
+    def on_hitm(self, core: int, inst, addr: int, is_write: bool,
+                cycle: int) -> int:
+        """Machine ``on_hitm`` hook; returns stall cycles for the core."""
+        self.hitm_counts[core] += 1
+        if not self.pebs_enabled:
+            return 0
+        if self.hitm_counts[core] % self.sample_after_value != 0:
+            return 0
+        recorded_pc, recorded_addr = self.imprecision.distort(
+            inst.pc, addr, store_triggered=is_write
+        )
+        record = PebsRecord(
+            pc=recorded_pc,
+            data_addr=recorded_addr,
+            core=core,
+            cycle=cycle,
+            store_triggered=is_write,
+        )
+        self.records_generated += 1
+        extra = self.record_cost
+        if self.driver is not None:
+            extra += self.driver.deliver(record)
+        return extra
+
+    @property
+    def total_hitm_count(self) -> int:
+        return sum(self.hitm_counts)

@@ -1,0 +1,31 @@
+"""Cache-line state definitions.
+
+The coherence directory (``repro.sim.coherence``) tracks every cached
+line's per-core state with the three essential states the paper's
+Section 2 identifies: Modified, Shared and Invalid (we add Exclusive for
+fidelity to MESI; E behaves like S for HITM purposes since an E line is
+clean).
+"""
+
+import enum
+
+from repro._constants import CACHE_LINE_SIZE
+
+__all__ = ["LineState", "line_of", "line_base"]
+
+
+class LineState(enum.Enum):
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+
+def line_of(addr: int) -> int:
+    """Cache line index of a byte address."""
+    return addr // CACHE_LINE_SIZE
+
+
+def line_base(addr: int) -> int:
+    """Base byte address of the cache line containing ``addr``."""
+    return addr - (addr % CACHE_LINE_SIZE)

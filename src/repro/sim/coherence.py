@@ -1,0 +1,180 @@
+"""MESI coherence directory and HITM event generation.
+
+The directory tracks, for each cache line any core has touched, the
+per-core MESI state.  Caches are modelled as infinite (no capacity
+evictions): contention behaviour — the subject of the paper — is driven
+by coherence state transitions, not capacity, and infinite caches keep
+the model deterministic and fast.
+
+A **HITM event** occurs when a core's access finds the line Modified in
+a *remote* cache (Figure 1a for loads, Figure 1c for stores).  The
+directory reports these to the machine, which forwards them to the PMU.
+"""
+
+from typing import Dict, List, Optional
+
+from repro._constants import CACHE_LINE_SIZE, NUM_CORES
+from repro.sim.cache import LineState
+from repro.sim.timing import LatencyModel
+
+__all__ = ["AccessResult", "CoherenceDirectory"]
+
+
+class AccessResult:
+    """Outcome of one memory access through the coherence model."""
+
+    __slots__ = ("latency", "hitm", "hitm_remote_core", "lines_touched")
+
+    def __init__(self, latency: int, hitm: bool, hitm_remote_core: Optional[int],
+                 lines_touched: int):
+        self.latency = latency
+        self.hitm = hitm
+        self.hitm_remote_core = hitm_remote_core
+        self.lines_touched = lines_touched
+
+
+class CoherenceDirectory:
+    """Per-line MESI state across all cores."""
+
+    def __init__(self, latency: LatencyModel, num_cores: int = NUM_CORES):
+        self.latency = latency
+        self.num_cores = num_cores
+        # line index -> {core: LineState}; absent core means Invalid.
+        self._lines: Dict[int, Dict[int, LineState]] = {}
+        # line index -> cycle until which the line's coherence transition
+        # machinery is busy.  Contending accesses to one line serialize —
+        # "the cache line constantly undergoes expensive and serialized
+        # state transitions" (Section 2) — which is what makes intense
+        # contention superlinearly painful on real hardware.
+        self._line_busy_until: Dict[int, int] = {}
+        #: Current global cycle; the machine updates this before accesses.
+        self.now = 0
+        self.hitm_count = 0
+        self.load_hitm_count = 0
+        self.store_hitm_count = 0
+        self.serialization_stall_cycles = 0
+
+    # ------------------------------------------------------------------
+    # Access protocol
+    # ------------------------------------------------------------------
+
+    def access(self, core: int, addr: int, size: int, is_write: bool) -> AccessResult:
+        """Perform a coherent access; returns latency and HITM info.
+
+        Accesses that straddle a cache-line boundary touch each line in
+        turn (as split accesses do on x86).
+        """
+        first_line = addr // CACHE_LINE_SIZE
+        last_line = (addr + size - 1) // CACHE_LINE_SIZE
+        total_latency = 0
+        hitm = False
+        hitm_remote = None
+        for line in range(first_line, last_line + 1):
+            latency, remote = self._access_line(core, line, is_write)
+            if latency > self.latency.l1_hit:
+                # A coherence transition: serialize behind any transition
+                # already in flight on this line.
+                busy_until = self._line_busy_until.get(line, 0)
+                if busy_until > self.now:
+                    stall = busy_until - self.now
+                    latency += stall
+                    self.serialization_stall_cycles += stall
+                self._line_busy_until[line] = self.now + latency
+            total_latency += latency
+            if remote is not None:
+                hitm = True
+                hitm_remote = remote
+        if hitm:
+            self.hitm_count += 1
+            if is_write:
+                self.store_hitm_count += 1
+            else:
+                self.load_hitm_count += 1
+        return AccessResult(total_latency, hitm, hitm_remote,
+                            last_line - first_line + 1)
+
+    def _access_line(self, core: int, line: int, is_write: bool):
+        """MESI transition for one line; returns (latency, hitm_remote_core)."""
+        states = self._lines.get(line)
+        if states is None:
+            states = {}
+            self._lines[line] = states
+        mine = states.get(core, LineState.INVALID)
+        lat = self.latency
+
+        if not is_write:
+            if mine is not LineState.INVALID:
+                return lat.l1_hit, None
+            modified_owner = self._modified_holder(states, exclude=core)
+            if modified_owner is not None:
+                # HITM: remote M line is written back and both end Shared.
+                states[modified_owner] = LineState.SHARED
+                states[core] = LineState.SHARED
+                return lat.hitm, modified_owner
+            if states:
+                # Clean copy supplied by a sharer; E holders downgrade.
+                for holder, st in list(states.items()):
+                    if st is LineState.EXCLUSIVE:
+                        states[holder] = LineState.SHARED
+                states[core] = LineState.SHARED
+                return lat.shared_fill, None
+            states[core] = LineState.EXCLUSIVE
+            return lat.memory, None
+
+        # Write path.
+        if mine is LineState.MODIFIED:
+            return lat.l1_hit, None
+        if mine is LineState.EXCLUSIVE:
+            states[core] = LineState.MODIFIED
+            return lat.l1_hit, None
+        modified_owner = self._modified_holder(states, exclude=core)
+        if modified_owner is not None:
+            # HITM: dirty line transferred and remote copy invalidated.
+            del states[modified_owner]
+            states.clear()
+            states[core] = LineState.MODIFIED
+            return lat.hitm, modified_owner
+        if mine is LineState.SHARED or states:
+            # Upgrade / invalidation round over the sharers.
+            states.clear()
+            states[core] = LineState.MODIFIED
+            return lat.upgrade, None
+        states[core] = LineState.MODIFIED
+        return lat.memory, None
+
+    @staticmethod
+    def _modified_holder(states: Dict[int, LineState], exclude: int) -> Optional[int]:
+        for holder, st in states.items():
+            if holder != exclude and st is LineState.MODIFIED:
+                return holder
+        return None
+
+    # ------------------------------------------------------------------
+    # Introspection (for tests and invariants)
+    # ------------------------------------------------------------------
+
+    def state_of(self, core: int, addr: int) -> LineState:
+        states = self._lines.get(addr // CACHE_LINE_SIZE)
+        if not states:
+            return LineState.INVALID
+        return states.get(core, LineState.INVALID)
+
+    def holders_of_line(self, line: int) -> Dict[int, LineState]:
+        return dict(self._lines.get(line, {}))
+
+    def check_invariants(self) -> List[str]:
+        """Return a list of MESI invariant violations (empty if healthy)."""
+        problems = []
+        for line, states in self._lines.items():
+            m_holders = [c for c, s in states.items() if s is LineState.MODIFIED]
+            e_holders = [c for c, s in states.items() if s is LineState.EXCLUSIVE]
+            s_holders = [c for c, s in states.items() if s is LineState.SHARED]
+            if len(m_holders) > 1:
+                problems.append("line %d has %d M holders" % (line, len(m_holders)))
+            if m_holders and (e_holders or s_holders):
+                problems.append("line %d mixes M with E/S" % line)
+            if len(e_holders) > 1:
+                problems.append("line %d has %d E holders" % (line, len(e_holders)))
+            if e_holders and s_holders:
+                problems.append("line %d mixes E with S" % line)
+        return problems

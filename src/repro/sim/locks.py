@@ -1,0 +1,70 @@
+"""Synchronization idioms emitted as ISA code.
+
+Workloads build their locks out of real atomic instructions so that the
+contention the paper describes arises naturally: a naive spin lock is "a
+single atomic compare-and-swap in a loop" and performs poorly under
+contention, while a test-and-test-and-set lock "allows potential
+acquirers to check the lock without trying to update it" (Section 2).
+
+Each emitter needs a unique ``tag`` to keep labels distinct within one
+thread's code, and two scratch registers that it may clobber.
+"""
+
+from repro.isa.assembler import Assembler
+
+__all__ = [
+    "emit_naive_lock_acquire",
+    "emit_ttas_lock_acquire",
+    "emit_lock_release",
+    "emit_barrier_wait",
+]
+
+
+def emit_naive_lock_acquire(asm: Assembler, lock_addr_reg, tag: str,
+                            scratch: str = "r10") -> None:
+    """Naive spin lock: cmpxchg in a tight loop (high true sharing)."""
+    retry = "lock_retry_%s" % tag
+    done = "lock_done_%s" % tag
+    asm.label(retry)
+    asm.cmpxchg(scratch, lock_addr_reg, 0, 1, size=8)
+    asm.beq(scratch, 0, done)
+    asm.pause()
+    asm.jmp(retry)
+    asm.label(done)
+
+
+def emit_ttas_lock_acquire(asm: Assembler, lock_addr_reg, tag: str,
+                           scratch: str = "r10") -> None:
+    """Test-and-test-and-set lock: read-share the lock word while held."""
+    retry = "ttas_retry_%s" % tag
+    attempt = "ttas_attempt_%s" % tag
+    done = "ttas_done_%s" % tag
+    asm.label(retry)
+    asm.load(scratch, lock_addr_reg, size=8)
+    asm.beq(scratch, 0, attempt)
+    asm.pause()
+    asm.jmp(retry)
+    asm.label(attempt)
+    asm.cmpxchg(scratch, lock_addr_reg, 0, 1, size=8)
+    asm.beq(scratch, 0, done)
+    asm.jmp(retry)
+    asm.label(done)
+
+
+def emit_lock_release(asm: Assembler, lock_addr_reg) -> None:
+    """Release: a plain store of 0 (x86 stores have release semantics)."""
+    asm.store(lock_addr_reg, 0, size=8)
+
+
+def emit_barrier_wait(asm: Assembler, barrier_addr_reg, num_threads: int,
+                      tag: str, scratch: str = "r10") -> None:
+    """Single-use sense-free barrier: xadd then spin until all arrive."""
+    spin = "barrier_spin_%s" % tag
+    done = "barrier_done_%s" % tag
+    asm.xadd(scratch, barrier_addr_reg, 1, size=8)
+    asm.label(spin)
+    asm.load(scratch, barrier_addr_reg, size=8)
+    asm.bge(scratch, num_threads, done)
+    asm.pause()
+    asm.jmp(spin)
+    asm.label(done)

@@ -1,0 +1,223 @@
+"""The multicore machine: event loop, memory routing, PMU hooks.
+
+The machine binds together memory, the coherence directory, the HTM and
+one :class:`Core` per program thread, and advances them with a simple
+discrete-event loop: the core with the earliest ready-time executes its
+next instruction, whose latency (coherence stalls included) pushes its
+ready-time forward.  HITM events observed by the coherence model are
+forwarded to an ``on_hitm`` hook — this is where the PMU (or a
+VTune-style profiler) taps in, and the hook's return value is charged to
+the triggering core as extra stall cycles, which is how profiling
+overhead becomes visible in simulated runtime.
+"""
+
+import heapq
+from typing import Callable, Dict, List, Optional
+
+from repro._constants import NUM_CORES
+from repro.errors import SimulationError
+from repro.isa.program import Program
+from repro.rng import RngStreams
+from repro.sim.allocator import Allocator
+from repro.sim.coherence import CoherenceDirectory
+from repro.sim.core import Core, CoreState
+from repro.sim.htm import HardwareTransactionalMemory
+from repro.sim.memory import Memory
+from repro.sim.timing import LatencyModel
+from repro.sim.vmmap import STACK_SIZE, STACK_TOP, VirtualMemoryMap, default_memory_map
+
+__all__ = ["Machine", "RunResult"]
+
+#: Signature of the HITM hook: (core_id, inst, addr, is_write, cycle) -> extra cycles.
+HitmHook = Callable[[int, object, int, bool, int], int]
+
+#: Signature of the memory-op hook used by heavyweight profilers.
+MemOpHook = Callable[[int, object, int], int]
+
+
+class RunResult:
+    """Outcome of a machine run (or a resumable slice of one)."""
+
+    def __init__(self, machine: "Machine", cycles: int, finished: bool):
+        self.cycles = cycles
+        self.finished = finished
+        self.core_stats = [core.stats for core in machine.cores]
+        self.registers = [list(core.registers) for core in machine.cores]
+        self.hitm_count = machine.directory.hitm_count
+        self.load_hitm_count = machine.directory.load_hitm_count
+        self.store_hitm_count = machine.directory.store_hitm_count
+        self.instructions = sum(s.instructions for s in self.core_stats)
+
+    @property
+    def hitm_rate_per_second(self) -> float:
+        """HITMs per simulated second (see CYCLES_PER_SECOND)."""
+        from repro._constants import CYCLES_PER_SECOND
+
+        if self.cycles == 0:
+            return 0.0
+        return self.hitm_count * CYCLES_PER_SECOND / self.cycles
+
+    def __repr__(self):
+        return "<RunResult cycles=%d insns=%d hitms=%d%s>" % (
+            self.cycles,
+            self.instructions,
+            self.hitm_count,
+            "" if self.finished else " PAUSED",
+        )
+
+
+class Machine:
+    """A simulated multicore executing one multithreaded program."""
+
+    def __init__(
+        self,
+        program: Program,
+        latency: Optional[LatencyModel] = None,
+        seed: int = 0,
+        heap_offset: int = 0,
+        num_cores: int = NUM_CORES,
+        jitter: bool = True,
+        allocator: Optional[Allocator] = None,
+    ):
+        if program.num_threads > num_cores:
+            raise SimulationError(
+                "program %s needs %d threads but machine has %d cores"
+                % (program.name, program.num_threads, num_cores)
+            )
+        self.program = program
+        self.latency = latency or LatencyModel()
+        self.rng = RngStreams(seed)
+        self.memory = Memory()
+        self.vmmap = default_memory_map(program.num_threads, program.code_end)
+        self.allocator = allocator or Allocator(base_offset=heap_offset)
+        self.directory = CoherenceDirectory(self.latency, num_cores=num_cores)
+        self.htm = HardwareTransactionalMemory(self.memory, self.directory)
+        self.cores: List[Core] = []
+        for tid, thread in enumerate(program.threads):
+            core = Core(tid, self, thread.instructions)
+            core.registers[14] = tid
+            core.registers[15] = STACK_TOP - tid * 2 * STACK_SIZE - 4096
+            self.cores.append(core)
+        self.cycle = 0
+        self.jitter = jitter
+        self._jitter_rng = self.rng.stream("interleave")
+        #: PMU / profiler hooks (None = free execution).
+        self.on_hitm: Optional[HitmHook] = None
+        self.on_memory_op: Optional[MemOpHook] = None
+        #: Cycles injected into cores by hooks, for overhead accounting.
+        self.injected_stall_cycles = 0
+
+    # ------------------------------------------------------------------
+    # Initial state helpers (used by workload setup code)
+    # ------------------------------------------------------------------
+
+    def set_register(self, thread_id: int, register: int, value: int) -> None:
+        self.cores[thread_id].registers[register] = value
+
+    def fence_extra(self, core: Core) -> int:
+        """Hook: extra cycles charged at fences / atomics / thread exit.
+
+        The base machine charges nothing; execution-model baselines
+        (Sheriff's threads-as-processes diff-and-merge) override this.
+        """
+        return 0
+
+    # ------------------------------------------------------------------
+    # Memory routing (called by cores)
+    # ------------------------------------------------------------------
+
+    def mem_read(self, core: Core, inst, addr: int, size: int):
+        """Coherent read; returns (value, latency)."""
+        self.directory.now = self.cycle
+        result = self.directory.access(core.core_id, addr, size, is_write=False)
+        latency = result.latency
+        if result.hitm:
+            core.stats.local_hitm_events += 1
+            latency += self._fire_hitm(core, inst, addr, is_write=False)
+        if self.on_memory_op is not None:
+            latency += self._fire_memop(core, inst)
+        value = self.memory.read(addr, size)
+        return value, latency
+
+    def mem_write(self, core: Core, inst, addr: int, value: int, size: int) -> int:
+        """Coherent write; returns latency."""
+        self.directory.now = self.cycle
+        result = self.directory.access(core.core_id, addr, size, is_write=True)
+        latency = result.latency
+        if result.hitm:
+            core.stats.local_hitm_events += 1
+            latency += self._fire_hitm(core, inst, addr, is_write=True)
+        if self.on_memory_op is not None:
+            latency += self._fire_memop(core, inst)
+        self.memory.write(addr, value, size)
+        return latency
+
+    def _fire_hitm(self, core: Core, inst, addr: int, is_write: bool) -> int:
+        if self.on_hitm is None:
+            return 0
+        extra = self.on_hitm(core.core_id, inst, addr, is_write, self.cycle)
+        if extra:
+            self.injected_stall_cycles += extra
+            core.stats.pmu_stall_cycles += extra
+        return extra
+
+    def _fire_memop(self, core: Core, inst) -> int:
+        extra = self.on_memory_op(core.core_id, inst, self.cycle)
+        if extra:
+            self.injected_stall_cycles += extra
+            core.stats.pmu_stall_cycles += extra
+        return extra
+
+    # ------------------------------------------------------------------
+    # Event loop (resumable: LASERREPAIR attaches mid-run, like Pin)
+    # ------------------------------------------------------------------
+
+    def _init_ready_heap(self) -> None:
+        self._ready: List = []  # (ready_time, core_id)
+        self._finish_time = 0
+        for core in self.cores:
+            if core.state is CoreState.RUNNING:
+                heapq.heappush(self._ready, (0, core.core_id))
+
+    def run(self, until_cycle: Optional[int] = None,
+            max_cycles: int = 200_000_000) -> RunResult:
+        """Advance the machine; resumable.
+
+        With ``until_cycle`` set, execution pauses once the global clock
+        passes it (state is retained; call ``run`` again to resume) —
+        this is the window mechanism the LASER system uses for periodic
+        detection checks and online repair attach.  ``max_cycles`` is a
+        livelock backstop.
+        """
+        if not hasattr(self, "_ready"):
+            self._init_ready_heap()
+        ready = self._ready
+        jitter_rng = self._jitter_rng
+        use_jitter = self.jitter
+        limit = min(until_cycle, max_cycles) if until_cycle is not None else max_cycles
+        while ready:
+            time = ready[0][0]
+            if time > limit:
+                self.cycle = time
+                if until_cycle is not None and time <= max_cycles:
+                    return RunResult(self, time, finished=False)
+                raise SimulationError(
+                    "machine exceeded max_cycles=%d (livelock?)" % max_cycles
+                )
+            time, core_id = heapq.heappop(ready)
+            self.cycle = time
+            core = self.cores[core_id]
+            latency = core.step()
+            if use_jitter:
+                latency += jitter_rng.randrange(0, 2)
+            next_time = time + max(1, latency)
+            if core.state is CoreState.RUNNING:
+                heapq.heappush(ready, (next_time, core_id))
+            else:
+                self._finish_time = max(self._finish_time, next_time)
+        self.cycle = max(self.cycle, self._finish_time)
+        return RunResult(self, self.cycle, finished=True)
+
+    @property
+    def finished(self) -> bool:
+        return hasattr(self, "_ready") and not self._ready

@@ -1,0 +1,71 @@
+"""Flat byte-addressable memory.
+
+Backed by 4 KiB pages allocated lazily, so sparse address spaces (code
+at 0x400000, heap at 0x10000000, stacks near the top of the canonical
+range) cost nothing.  Values are little-endian unsigned integers of
+1-8 bytes, matching the ISA's access sizes.
+"""
+
+from typing import Dict
+
+__all__ = ["Memory", "PAGE_SIZE"]
+
+PAGE_SIZE = 4096
+
+
+class Memory:
+    """Sparse simulated RAM."""
+
+    def __init__(self):
+        self._pages: Dict[int, bytearray] = {}
+
+    def _page(self, page_index: int) -> bytearray:
+        page = self._pages.get(page_index)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[page_index] = page
+        return page
+
+    def read(self, addr: int, size: int) -> int:
+        """Read ``size`` bytes at ``addr`` as a little-endian unsigned int."""
+        page_index, offset = divmod(addr, PAGE_SIZE)
+        if offset + size <= PAGE_SIZE:
+            page = self._pages.get(page_index)
+            if page is None:
+                return 0
+            return int.from_bytes(page[offset : offset + size], "little")
+        # Straddles a page boundary: assemble byte by byte.
+        value = 0
+        for i in range(size):
+            p, o = divmod(addr + i, PAGE_SIZE)
+            page = self._pages.get(p)
+            byte = page[o] if page is not None else 0
+            value |= byte << (8 * i)
+        return value
+
+    def write(self, addr: int, value: int, size: int) -> None:
+        """Write ``size`` low bytes of ``value`` at ``addr`` (little-endian)."""
+        value &= (1 << (8 * size)) - 1
+        page_index, offset = divmod(addr, PAGE_SIZE)
+        if offset + size <= PAGE_SIZE:
+            self._page(page_index)[offset : offset + size] = value.to_bytes(
+                size, "little"
+            )
+            return
+        for i in range(size):
+            p, o = divmod(addr + i, PAGE_SIZE)
+            self._page(p)[o] = (value >> (8 * i)) & 0xFF
+
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        """Read a raw byte string (used by tests and checksum helpers)."""
+        return bytes(
+            self.read(addr + i, 1) for i in range(size)
+        )
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        for i, byte in enumerate(data):
+            self.write(addr + i, byte, 1)
+
+    def touched_pages(self) -> int:
+        """Number of pages that have been materialized."""
+        return len(self._pages)

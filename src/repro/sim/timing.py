@@ -1,0 +1,48 @@
+"""Latency model for the simulated machine.
+
+All values are core cycles.  The defaults come from ``repro._constants``
+and can be overridden per-experiment (e.g. to study sensitivity of
+repair profitability to the HITM/hit cost ratio).
+"""
+
+from repro import _constants as C
+
+__all__ = ["LatencyModel"]
+
+
+class LatencyModel:
+    """Bag of latencies consulted by the interpreter and coherence model."""
+
+    def __init__(
+        self,
+        alu: int = C.ALU_LATENCY,
+        l1_hit: int = C.L1_HIT_LATENCY,
+        shared_fill: int = 30,
+        upgrade: int = C.UPGRADE_LATENCY,
+        hitm: int = C.HITM_LATENCY,
+        memory: int = C.MEMORY_LATENCY,
+        atomic_extra: int = C.ATOMIC_EXTRA_LATENCY,
+        fence: int = C.FENCE_LATENCY,
+        pause: int = 8,
+        ssb_store: int = C.SSB_STORE_LATENCY,
+        ssb_load: int = C.SSB_LOAD_LATENCY,
+        ssb_flush_base: int = C.SSB_FLUSH_BASE_LATENCY,
+        ssb_flush_entry: int = C.SSB_FLUSH_ENTRY_LATENCY,
+        alias_check: int = C.ALIAS_CHECK_LATENCY,
+        pin_tax: int = C.PIN_TAX_LATENCY,
+    ):
+        self.alu = alu
+        self.l1_hit = l1_hit
+        self.shared_fill = shared_fill
+        self.upgrade = upgrade
+        self.hitm = hitm
+        self.memory = memory
+        self.atomic_extra = atomic_extra
+        self.fence = fence
+        self.pause = pause
+        self.ssb_store = ssb_store
+        self.ssb_load = ssb_load
+        self.ssb_flush_base = ssb_flush_base
+        self.ssb_flush_entry = ssb_flush_entry
+        self.alias_check = alias_check
+        self.pin_tax = pin_tax

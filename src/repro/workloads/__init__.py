@@ -1,0 +1,27 @@
+"""Benchmark analogs of the Phoenix, Parsec and Splash2x suites.
+
+Each workload is an ISA program reproducing the documented sharing
+behaviour of its namesake (Sections 2 and 7.4): the false sharing of
+``linear_regression``'s unaligned structs, ``kmeans``' migratory true
+sharing, ``dedup``'s single-lock queue, and so on.  Workloads carry
+their ground-truth performance-bug metadata (the paper's Table 1/2
+database) and their Sheriff compatibility verdicts.
+"""
+
+from repro.workloads.base import (
+    BugRecord,
+    BuiltWorkload,
+    SheriffSupport,
+    Workload,
+)
+from repro.workloads.registry import all_workloads, get_workload, workload_names
+
+__all__ = [
+    "BugRecord",
+    "BuiltWorkload",
+    "SheriffSupport",
+    "Workload",
+    "all_workloads",
+    "get_workload",
+    "workload_names",
+]

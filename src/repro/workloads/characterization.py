@@ -1,0 +1,136 @@
+"""The Section 3.1 characterization test cases.
+
+"We undertook a detailed characterization of HITM event support in
+Haswell with over 160 test cases coded in assembly.  These test cases
+each involve two threads engaged in true or false sharing, with either
+write-read/read-write or write-write sharing.  Each thread performs the
+same operation repeatedly in an infinite loop, where the loop body
+varies across tests from a single memory operation to hundreds of
+branch, jump, arithmetic and memory instructions."
+
+We generate the same grid: {TS, FS} x {RW, WW} x 10 filler sizes x 4
+filler kinds = 160 cases (finite loops stand in for the infinite ones).
+"""
+
+from typing import Iterator, List
+
+from repro.isa.assembler import Assembler
+from repro.isa.program import Program
+from repro.sim.allocator import Allocator
+from repro.workloads.base import BuiltWorkload
+
+__all__ = ["CharacterizationCase", "generate_cases",
+           "FILLER_COUNTS", "FILLER_KINDS"]
+
+FILLER_COUNTS = [0, 1, 2, 4, 6, 8, 12, 24, 48, 96]
+FILLER_KINDS = ["alu", "branch", "memory", "mixed"]
+
+
+class CharacterizationCase:
+    """One two-thread sharing test."""
+
+    def __init__(self, sharing: str, mode: str, filler_kind: str,
+                 filler_count: int, iters: int = 400):
+        if sharing not in ("TS", "FS"):
+            raise ValueError("sharing must be TS or FS")
+        if mode not in ("RW", "WW"):
+            raise ValueError("mode must be RW or WW")
+        if filler_kind not in FILLER_KINDS:
+            raise ValueError("unknown filler kind %r" % filler_kind)
+        self.sharing = sharing
+        self.mode = mode
+        self.filler_kind = filler_kind
+        self.filler_count = filler_count
+        self.iters = iters
+
+    @property
+    def group(self) -> str:
+        """The Figure 3 grouping key: TSRW / FSRW / TSWW / FSWW."""
+        return self.sharing + self.mode
+
+    @property
+    def name(self) -> str:
+        return "%s_%s_%d" % (self.group, self.filler_kind, self.filler_count)
+
+    # ------------------------------------------------------------------
+    # Program construction
+    # ------------------------------------------------------------------
+
+    def _emit_filler(self, asm: Assembler, private_base: int) -> None:
+        kind = self.filler_kind
+        for i in range(self.filler_count):
+            if kind == "alu" or (kind == "mixed" and i % 3 == 0):
+                asm.add("r5", "r5", 3)
+            elif kind == "branch" or (kind == "mixed" and i % 3 == 1):
+                skip = "skip_%d" % i
+                asm.bne("r5", 0xFFFFFFFF, skip)
+                asm.nop()
+                asm.label(skip)
+            else:  # private memory traffic
+                asm.load("r6", "r1", offset=(i % 32) * 8, size=8)
+
+    def build(self, heap_offset: int = 0, seed: int = 0,
+              scale: float = 1.0) -> BuiltWorkload:
+        allocator = Allocator(base_offset=heap_offset)
+        shared = allocator.malloc(64, align=64, label="shared_line")
+        privates = [
+            allocator.malloc(8 * 64, label="private[%d]" % tid)
+            for tid in range(2)
+        ]
+        iters = max(16, int(self.iters * scale))
+        threads = []
+
+        # Thread 0 always writes the first word of the line.
+        writer = Assembler("char_writer")
+        writer.at("testcase.s", 10)
+        writer.mov("r1", privates[0])
+        writer.mov("r0", iters)
+        writer.label("loop")
+        writer.at("testcase.s", 14)
+        writer.store(shared, "r0", size=8)
+        writer.at("testcase.s", 16)
+        self._emit_filler(writer, privates[0])
+        writer.at("testcase.s", 18)
+        writer.sub("r0", "r0", 1)
+        writer.bne("r0", 0, "loop")
+        writer.halt()
+        threads.append(writer.build())
+
+        # Thread 1: reads (RW) or writes (WW), same word (TS) or a
+        # different word of the same line (FS).
+        offset = 0 if self.sharing == "TS" else 8
+        other = Assembler("char_other")
+        other.at("testcase.s", 30)
+        other.mov("r1", privates[1])
+        other.mov("r0", iters)
+        other.label("loop")
+        other.at("testcase.s", 34)
+        if self.mode == "RW":
+            other.load("r7", shared + offset, size=8)
+        else:
+            other.store(shared + offset, "r0", size=8)
+        other.at("testcase.s", 36)
+        self._emit_filler(other, privates[1])
+        other.at("testcase.s", 38)
+        other.sub("r0", "r0", 1)
+        other.bne("r0", 0, "loop")
+        other.halt()
+        threads.append(other.build())
+
+        return BuiltWorkload(Program("char_" + self.name, threads), allocator)
+
+    def __repr__(self):
+        return "<CharacterizationCase %s>" % self.name
+
+
+def generate_cases() -> List[CharacterizationCase]:
+    """The full 160-case grid of Section 3.1."""
+    cases = []
+    for sharing in ("TS", "FS"):
+        for mode in ("RW", "WW"):
+            for kind in FILLER_KINDS:
+                for count in FILLER_COUNTS:
+                    cases.append(
+                        CharacterizationCase(sharing, mode, kind, count)
+                    )
+    return cases

@@ -1,0 +1,749 @@
+"""PARSEC 3.0 benchmark analogs.
+
+Contention characters follow the paper's findings:
+
+* ``bodytrack`` — significant true sharing in
+  ``TicketDispenser::getTicket()``: an atomic fetch-add distributing
+  work tickets, "fundamental to load-balancing" (Section 7.4.2) and so
+  not manually fixable without restructuring.
+* ``dedup`` — the novel true-sharing bug: every pipeline stage is
+  separated by a concurrent queue "protected with a single lock,
+  preventing enqueue and dequeue operations from proceeding in
+  parallel"; the fix replaces it with a lock-free queue (+16%).  Its
+  lock-word HITM rate sits between LASER's 1K/s threshold and VTune's
+  2K/s threshold — which is why VTune misses the bug (Table 1) — and
+  dedup is the SAV-sensitivity benchmark of Figure 13.
+* ``streamcluster`` — false sharing on the already-but-insufficiently
+  padded ``work_mem`` array; fixing it cuts HITM events 3x without
+  changing runtime (Section 7.4.3).
+* ``x264`` / ``ferret`` / ``vips`` — pipeline codes with frequent small
+  hand-offs: sizable HITM volume, no individual hot line (x264 is one
+  of the three highest-overhead benchmarks in Figure 12).
+* the rest — data-parallel or barrier codes with diffuse, benign
+  sharing.
+
+Sheriff compatibility verdicts come from Section 7.3: dedup, ferret(!),
+raytrace, vips and x264 "use pthreads constructs that Sheriff does not
+currently support like spin locks", freqmine "requires OpenMP support",
+and most others "encounter runtime errors".
+"""
+
+from typing import List
+
+from repro.core.detect.report import ContentionClass
+from repro.isa.assembler import Assembler
+from repro.isa.program import Program, SourceLocation
+from repro.sim.allocator import Allocator
+from repro.sim.locks import (
+    emit_lock_release,
+    emit_naive_lock_acquire,
+    emit_ttas_lock_acquire,
+)
+from repro.workloads.base import (
+    BugRecord,
+    BuiltWorkload,
+    SheriffSupport,
+    Workload,
+    iterations,
+)
+from repro.workloads.templates import (
+    emit_handoff_read,
+    emit_private_stream,
+    emit_startup_handoff_writes,
+)
+
+__all__ = ["PARSEC_WORKLOADS"]
+
+
+class Blackscholes(Workload):
+    """Embarrassingly parallel option pricing: no sharing to speak of."""
+
+    name = "blackscholes"
+    suite = "parsec"
+    FILE = "blackscholes.c"
+    bugs: List[BugRecord] = []
+    sheriff_support = SheriffSupport.OK
+
+    def build(self, heap_offset: int = 0, seed: int = 0,
+              scale: float = 1.0) -> BuiltWorkload:
+        allocator = Allocator(base_offset=heap_offset)
+        options = [
+            allocator.malloc(8 * 4096, align=64, label="options[%d]" % tid)
+            for tid in range(self.num_threads)
+        ]
+        n = iterations(1800, scale)
+        threads = []
+        for tid in range(self.num_threads):
+            asm = Assembler("bs_worker_%d" % tid)
+            asm.at(self.FILE, 230)
+            emit_private_stream(asm, options[tid], n, "price", alu_ops=6,
+                                do_store=True)
+            asm.halt()
+            threads.append(asm.build())
+        return BuiltWorkload(Program(self.name, threads), allocator)
+
+
+class Bodytrack(Workload):
+    """True sharing in TicketDispenser::getTicket() (Section 7.4.2)."""
+
+    name = "bodytrack"
+    suite = "parsec"
+    FILE = "TicketDispenser.h"
+    TICKET_LINE = 64
+    bugs = [
+        BugRecord(
+            [SourceLocation("TicketDispenser.h", 64)],
+            ContentionClass.TRUE_SHARING,
+            "getTicket(): atomic fetch-add distributing unique counter "
+            "values to threads; fundamental communication, not fixable "
+            "without restructuring",
+            significant=True,
+            sheriff_detects=False,
+        )
+    ]
+    sheriff_support = SheriffSupport.CRASH
+
+    def build(self, heap_offset: int = 0, seed: int = 0,
+              scale: float = 1.0) -> BuiltWorkload:
+        allocator = Allocator(base_offset=heap_offset)
+        ticket = allocator.malloc(8, align=64, label="ticket_counter")
+        frames = [
+            allocator.malloc(8 * 4096, label="particles[%d]" % tid)
+            for tid in range(self.num_threads)
+        ]
+        tickets = iterations(420, scale)
+        threads = []
+        for tid in range(self.num_threads):
+            asm = Assembler("bt_worker_%d" % tid)
+            asm.at(self.FILE, 60)
+            asm.mov("r0", tickets)
+            asm.mov("r3", frames[tid])
+            asm.label("tickets")
+            # The contended ticket dispenser (an xadd: RMW, so its HITM
+            # records carry load-grade precision -> clean TS verdict).
+            asm.at(self.FILE, self.TICKET_LINE)
+            asm.mov("r1", ticket)
+            asm.xadd("r2", "r1", 1, size=8)
+            # Per-ticket particle filtering work (private).
+            asm.at("TrackingModel.cpp", 310)
+            asm.mov("r4", 22)
+            asm.label("particle")
+            asm.load("r5", "r3", size=8)
+            asm.add("r5", "r5", "r2")
+            asm.add("r3", "r3", 8)
+            asm.sub("r4", "r4", 1)
+            asm.bne("r4", 0, "particle")
+            asm.at(self.FILE, 70)
+            asm.sub("r0", "r0", 1)
+            asm.bne("r0", 0, "tickets")
+            asm.halt()
+            threads.append(asm.build())
+        return BuiltWorkload(Program(self.name, threads), allocator)
+
+
+class Canneal(Workload):
+    """Random element swaps with atomic CAS: diffuse, benign contention."""
+
+    name = "canneal"
+    suite = "parsec"
+    FILE = "annealer_thread.cpp"
+    bugs: List[BugRecord] = []
+    sheriff_support = SheriffSupport.CRASH
+
+    def build(self, heap_offset: int = 0, seed: int = 0,
+              scale: float = 1.0) -> BuiltWorkload:
+        allocator = Allocator(base_offset=heap_offset)
+        elements = allocator.malloc(64 * 1024, align=64, label="netlist")
+        n = iterations(350, scale)
+        threads = []
+        for tid in range(self.num_threads):
+            asm = Assembler("canneal_worker_%d" % tid)
+            asm.at(self.FILE, 120)
+            asm.mov("r0", n)
+            # Each thread walks the netlist with a different stride so
+            # swaps collide only occasionally (diffuse HITMs).
+            asm.mov("r1", elements + tid * 256)
+            asm.label("swap")
+            asm.at(self.FILE, 128)
+            asm.cmpxchg("r2", "r1", 0, 1, size=8)
+            asm.at(self.FILE, 133)
+            asm.mov("r4", 45)
+            asm.label("evaluate")
+            asm.add("r5", "r5", 3)
+            asm.sub("r4", "r4", 1)
+            asm.bne("r4", 0, "evaluate")
+            asm.add("r1", "r1", 64 * (tid + 3))
+            asm.at(self.FILE, 140)
+            asm.sub("r0", "r0", 1)
+            asm.bne("r0", 0, "swap")
+            asm.halt()
+            threads.append(asm.build())
+        return BuiltWorkload(Program(self.name, threads), allocator)
+
+
+class Dedup(Workload):
+    """Pipeline stages separated by a single-lock concurrent queue."""
+
+    name = "dedup"
+    suite = "parsec"
+    FILE = "queue.c"
+    LOCK_LINE = 88     # enqueue/dequeue lock acquisition
+    bugs = [
+        BugRecord(
+            [SourceLocation("queue.c", 88), SourceLocation("queue.c", 95)],
+            ContentionClass.TRUE_SHARING,
+            "each pipeline queue is protected by a single lock, so "
+            "enqueues and dequeues serialize; fixed with a lock-free "
+            "queue for a 16% speedup",
+            significant=True,
+            sheriff_detects=False,
+            vtune_detects=False,  # the bug VTune misses (Table 1)
+        )
+    ]
+    sheriff_support = SheriffSupport.INCOMPATIBLE  # spin locks
+
+    #: Items flowing through the pipeline per consumer.
+    def build(self, heap_offset: int = 0, seed: int = 0, scale: float = 1.0,
+              lockfree: bool = False) -> BuiltWorkload:
+        allocator = Allocator(base_offset=heap_offset)
+        lock = allocator.malloc(8, align=64, label="queue_lock")
+        head = allocator.malloc(8, align=64, label="queue_head")
+        tail = allocator.malloc(8, align=64, label="queue_tail")
+        ring = allocator.malloc(8 * 4096, align=64, label="queue_ring")
+        chunks = [
+            allocator.malloc(8 * 4096, label="chunks[%d]" % tid)
+            for tid in range(self.num_threads)
+        ]
+        items = iterations(75, scale)
+        consumers = self.num_threads - 1
+        threads = [self._producer(lock, tail, ring, chunks[0],
+                                  items * consumers, lockfree)]
+        for w in range(consumers):
+            threads.append(
+                self._consumer(w, lock, head, tail, ring, chunks[w + 1],
+                               items, lockfree)
+            )
+        return BuiltWorkload(Program(self.name, threads), allocator)
+
+    def build_fixed(self, heap_offset: int = 0, seed: int = 0,
+                    scale: float = 1.0) -> BuiltWorkload:
+        """The Boost-lockfree-queue replacement (Section 7.4.2)."""
+        return self.build(heap_offset, seed, scale, lockfree=True)
+
+    def _producer(self, lock, tail, ring, chunk, total, lockfree):
+        asm = Assembler("dedup_producer")
+        asm.at("encoder.c", 40)
+        asm.mov("r0", total)
+        asm.label("produce")
+        asm.mov("r3", chunk)
+        # Chunking/fingerprinting work (private).
+        asm.at("encoder.c", 52)
+        asm.mov("r4", 60)
+        asm.label("fingerprint")
+        asm.load("r5", "r3", size=8)
+        asm.add("r3", "r3", 8)
+        asm.sub("r4", "r4", 1)
+        asm.bne("r4", 0, "fingerprint")
+        if lockfree:
+            # Lock-free enqueue: reserve a slot with one atomic.
+            asm.at(self.FILE, 210)
+            asm.mov("r1", tail)
+            asm.xadd("r2", "r1", 1, size=8)
+            asm.and_("r2", "r2", 4095)
+            asm.shl("r2", "r2", 3)
+            asm.add("r2", "r2", ring)
+            asm.store("r2", 7, size=8)
+        else:
+            asm.at(self.FILE, self.LOCK_LINE)
+            asm.mov("r1", lock)
+            emit_naive_lock_acquire(asm, "r1", "enq")
+            asm.at(self.FILE, 95)
+            asm.mov("r2", tail)
+            asm.load("r5", "r2", size=8)
+            asm.add("r6", "r5", 1)
+            asm.store("r2", "r6", size=8)
+            asm.and_("r5", "r5", 4095)
+            asm.shl("r5", "r5", 3)
+            asm.add("r5", "r5", ring)
+            asm.store("r5", 7, size=8)
+            asm.mov("r1", lock)
+            emit_lock_release(asm, "r1")
+        asm.at("encoder.c", 60)
+        asm.sub("r0", "r0", 1)
+        asm.bne("r0", 0, "produce")
+        asm.halt()
+        return asm.build()
+
+    def _consumer(self, w, lock, head, tail, ring, chunk, items, lockfree):
+        asm = Assembler("dedup_consumer_%d" % w)
+        asm.at("encoder.c", 80)
+        asm.mov("r0", items)
+        asm.label("consume")
+        asm.mov("r3", chunk)
+        if lockfree:
+            asm.at(self.FILE, 230)
+            asm.mov("r1", head)
+            asm.xadd("r2", "r1", 1, size=8)
+            asm.and_("r2", "r2", 4095)
+            asm.shl("r2", "r2", 3)
+            asm.add("r2", "r2", ring)
+            asm.load("r5", "r2", size=8)
+        else:
+            asm.at(self.FILE, self.LOCK_LINE)
+            asm.mov("r1", lock)
+            emit_naive_lock_acquire(asm, "r1", "deq")
+            asm.at(self.FILE, 95)
+            asm.mov("r2", head)
+            asm.load("r5", "r2", size=8)
+            asm.add("r6", "r5", 1)
+            asm.store("r2", "r6", size=8)
+            asm.and_("r5", "r5", 4095)
+            asm.shl("r5", "r5", 3)
+            asm.add("r5", "r5", ring)
+            asm.load("r7", "r5", size=8)
+            asm.mov("r1", lock)
+            emit_lock_release(asm, "r1")
+        # Compression work on the dequeued chunk (private).
+        asm.at("encoder.c", 96)
+        asm.mov("r4", 300)
+        asm.label("compress")
+        asm.load("r5", "r3", size=8)
+        asm.add("r5", "r5", 1)
+        asm.store("r3", "r5", size=8)
+        asm.add("r3", "r3", 8)
+        asm.sub("r4", "r4", 1)
+        asm.bne("r4", 0, "compress")
+        asm.at("encoder.c", 104)
+        asm.sub("r0", "r0", 1)
+        asm.bne("r0", 0, "consume")
+        asm.halt()
+        return asm.build()
+
+
+class Facesim(Workload):
+    """Barrier-separated physics phases; private meshes."""
+
+    name = "facesim"
+    suite = "parsec"
+    FILE = "facesim.cpp"
+    bugs: List[BugRecord] = []
+    sheriff_support = SheriffSupport.CRASH
+
+    def build(self, heap_offset: int = 0, seed: int = 0,
+              scale: float = 1.0) -> BuiltWorkload:
+        allocator = Allocator(base_offset=heap_offset)
+        mesh = [
+            allocator.malloc(8 * 4096, align=64, label="mesh[%d]" % tid)
+            for tid in range(self.num_threads)
+        ]
+        barriers = allocator.malloc(64 * 6, align=64, label="barriers")
+        phase_iters = iterations(420, scale)
+        threads = []
+        for tid in range(self.num_threads):
+            asm = Assembler("facesim_worker_%d" % tid)
+            for phase in range(3):
+                asm.at(self.FILE, 200 + 20 * phase)
+                emit_private_stream(asm, mesh[tid], phase_iters,
+                                    "phase%d" % phase, alu_ops=4,
+                                    do_store=True)
+                asm.at(self.FILE, 212 + 20 * phase)
+                asm.mov("r9", barriers + 64 * phase)
+                self._barrier(asm, "r9", phase)
+            asm.halt()
+            threads.append(asm.build())
+        return BuiltWorkload(Program(self.name, threads), allocator)
+
+    def _barrier(self, asm: Assembler, addr_reg: str, phase: int) -> None:
+        from repro.sim.locks import emit_barrier_wait
+
+        emit_barrier_wait(asm, addr_reg, self.num_threads, "p%d" % phase)
+
+
+class Ferret(Workload):
+    """Similarity-search pipeline with TTAS-locked queues (benign)."""
+
+    name = "ferret"
+    suite = "parsec"
+    FILE = "ferret-pipeline.c"
+    bugs: List[BugRecord] = []
+    sheriff_support = SheriffSupport.OK
+    #: Sheriff-Detect's spurious allocation-site reports (Table 1: 2 FPs).
+    sheriff_fp_sites = ["malloc-wrapper: cass_table.c",
+                        "malloc-wrapper: ferret-pipeline.c"]
+
+    def build(self, heap_offset: int = 0, seed: int = 0,
+              scale: float = 1.0) -> BuiltWorkload:
+        allocator = Allocator(base_offset=heap_offset)
+        lock = allocator.malloc(8, align=64, label="stage_lock")
+        counter = allocator.malloc(8, align=64, label="stage_counter")
+        tables = [
+            allocator.malloc(8 * 4096, label="rank[%d]" % tid)
+            for tid in range(self.num_threads)
+        ]
+        n = iterations(180, scale)
+        threads = []
+        for tid in range(self.num_threads):
+            asm = Assembler("ferret_worker_%d" % tid)
+            asm.at(self.FILE, 60)
+            asm.mov("r0", n)
+            asm.mov("r3", tables[tid])
+            asm.label("item")
+            asm.at(self.FILE, 66)
+            asm.mov("r1", lock)
+            emit_ttas_lock_acquire(asm, "r1", "stage")
+            asm.at(self.FILE, 70)
+            asm.mov("r2", counter)
+            asm.addm("r2", 1, size=8)
+            asm.mov("r1", lock)
+            emit_lock_release(asm, "r1")
+            # Ranking work (private).
+            asm.at(self.FILE, 81)
+            asm.mov("r4", 36)
+            asm.label("rank")
+            asm.load("r5", "r3", size=8)
+            asm.add("r5", "r5", 5)
+            asm.add("r3", "r3", 8)
+            asm.sub("r4", "r4", 1)
+            asm.bne("r4", 0, "rank")
+            asm.at(self.FILE, 90)
+            asm.sub("r0", "r0", 1)
+            asm.bne("r0", 0, "item")
+            asm.halt()
+            threads.append(asm.build())
+        return BuiltWorkload(Program(self.name, threads), allocator)
+
+
+class Fluidanimate(Workload):
+    """Fine-grained per-cell locks: many diffuse, cold lock words."""
+
+    name = "fluidanimate"
+    suite = "parsec"
+    FILE = "pthreads.cpp"
+    bugs: List[BugRecord] = []
+    sheriff_support = SheriffSupport.CRASH
+
+    def build(self, heap_offset: int = 0, seed: int = 0,
+              scale: float = 1.0) -> BuiltWorkload:
+        allocator = Allocator(base_offset=heap_offset)
+        cell_locks = allocator.malloc(64 * 256, align=64, label="cell_locks")
+        cells = allocator.malloc(64 * 256, align=64, label="cells")
+        n = iterations(240, scale)
+        threads = []
+        for tid in range(self.num_threads):
+            asm = Assembler("fluid_worker_%d" % tid)
+            asm.at(self.FILE, 500)
+            asm.mov("r0", n)
+            asm.label("cell")
+            # Pick a neighbour cell: threads overlap on boundaries only.
+            asm.mov("r6", n)
+            asm.sub("r6", "r6", "r0")
+            asm.mul("r6", "r6", 7)
+            asm.add("r6", "r6", tid * 61)
+            asm.and_("r6", "r6", 255)
+            asm.shl("r6", "r6", 6)
+            asm.at(self.FILE, 508 + tid)
+            asm.mov("r1", cell_locks)
+            asm.add("r1", "r1", "r6")
+            emit_ttas_lock_acquire(asm, "r1", "cell")
+            asm.mov("r2", cells)
+            asm.add("r2", "r2", "r6")
+            asm.addm("r2", 1, size=8)
+            emit_lock_release(asm, "r1")
+            asm.at(self.FILE, 520)
+            asm.mov("r4", 24)
+            asm.label("density")
+            asm.add("r5", "r5", 3)
+            asm.sub("r4", "r4", 1)
+            asm.bne("r4", 0, "density")
+            asm.sub("r0", "r0", 1)
+            asm.bne("r0", 0, "cell")
+            asm.halt()
+            threads.append(asm.build())
+        return BuiltWorkload(Program(self.name, threads), allocator)
+
+
+class Freqmine(Workload):
+    """FP-growth mining; an occasionally-bumped shared header table."""
+
+    name = "freqmine"
+    suite = "parsec"
+    FILE = "fp_tree.cpp"
+    bugs: List[BugRecord] = []
+    sheriff_support = SheriffSupport.INCOMPATIBLE  # OpenMP
+
+    def build(self, heap_offset: int = 0, seed: int = 0,
+              scale: float = 1.0) -> BuiltWorkload:
+        allocator = Allocator(base_offset=heap_offset)
+        header = allocator.malloc(8 * 8, align=64, label="header_table")
+        trees = [
+            allocator.malloc(8 * 4096, label="fp_tree[%d]" % tid)
+            for tid in range(self.num_threads)
+        ]
+        n = iterations(340, scale)
+        threads = []
+        for tid in range(self.num_threads):
+            asm = Assembler("freqmine_worker_%d" % tid)
+            asm.at(self.FILE, 700)
+            asm.mov("r0", n)
+            asm.label("mine")
+            asm.mov("r3", trees[tid])
+            asm.at(self.FILE, 710)
+            asm.mov("r4", 18)
+            asm.label("grow")
+            asm.load("r5", "r3", size=8)
+            asm.add("r5", "r5", 1)
+            asm.store("r3", "r5", size=8)
+            asm.add("r3", "r3", 8)
+            asm.sub("r4", "r4", 1)
+            asm.bne("r4", 0, "grow")
+            # Shared header-table counter: real but mild contention, a
+            # LASER false positive in Table 1 (freqmine has no perf bug).
+            asm.at(self.FILE, 724)
+            asm.mov("r2", header)
+            asm.addm("r2", 1, size=8)
+            asm.at(self.FILE, 730)
+            asm.sub("r0", "r0", 1)
+            asm.bne("r0", 0, "mine")
+            asm.halt()
+            threads.append(asm.build())
+        return BuiltWorkload(Program(self.name, threads), allocator)
+
+
+class RaytraceParsec(Workload):
+    """Private ray bundles over a read-shared BVH."""
+
+    name = "raytrace.parsec"
+    suite = "parsec"
+    FILE = "rt-parsec.cpp"
+    bugs: List[BugRecord] = []
+    sheriff_support = SheriffSupport.INCOMPATIBLE
+
+    def build(self, heap_offset: int = 0, seed: int = 0,
+              scale: float = 1.0) -> BuiltWorkload:
+        allocator = Allocator(base_offset=heap_offset)
+        bvh = allocator.malloc(64 * 1200, align=64, label="bvh")
+        rays = [
+            allocator.malloc(8 * 4096, label="rays[%d]" % tid)
+            for tid in range(self.num_threads)
+        ]
+        bvh_lines = iterations(200, scale)
+        n = iterations(2200, scale)
+        threads = []
+        for tid in range(self.num_threads):
+            asm = Assembler("rtp_worker_%d" % tid)
+            if tid == 0:
+                asm.at(self.FILE, 50)
+                emit_startup_handoff_writes(asm, bvh, bvh_lines, "bvh")
+            asm.at(self.FILE, 61 + tid)
+            emit_handoff_read(asm, bvh, bvh_lines, "walk")
+            asm.at(self.FILE, 75)
+            emit_private_stream(asm, rays[tid], n, "trace", alu_ops=5)
+            asm.halt()
+            threads.append(asm.build())
+        return BuiltWorkload(Program(self.name, threads), allocator)
+
+
+class Streamcluster(Workload):
+    """Insufficient padding on work_mem (Section 7.4.3)."""
+
+    name = "streamcluster"
+    suite = "parsec"
+    FILE = "streamcluster.cpp"
+    WORK_MEM_LINE = 985
+    bugs = [
+        BugRecord(
+            [SourceLocation("streamcluster.cpp", 985)],
+            ContentionClass.FALSE_SHARING,
+            "work_mem is padded for 32-byte lines but not for 64-byte "
+            "lines; extra padding cuts HITMs 3x without changing runtime",
+            significant=True,
+            sheriff_detects=False,
+        )
+    ]
+    sheriff_support = SheriffSupport.CRASH
+
+    def build(self, heap_offset: int = 0, seed: int = 0, scale: float = 1.0,
+              extra_padding: bool = False) -> BuiltWorkload:
+        allocator = Allocator(base_offset=heap_offset)
+        stride = 64 if extra_padding else 32  # the insufficient padding
+        work_mem = allocator.malloc(self.num_threads * stride, align=64,
+                                    label="work_mem")
+        points = [
+            allocator.malloc(8 * 4096, label="points[%d]" % tid)
+            for tid in range(self.num_threads)
+        ]
+        n = iterations(340, scale)
+        threads = []
+        for tid in range(self.num_threads):
+            asm = Assembler("sc_worker_%d" % tid)
+            asm.at(self.FILE, 970)
+            asm.mov("r0", n)
+            asm.mov("r3", points[tid])
+            asm.label("gain")
+            asm.at(self.FILE, 975)
+            # Slightly different per-thread point counts (as in the real
+            # partitioning) keep the threads from phase-locking.
+            asm.mov("r4", 40 + 4 * tid)
+            asm.label("dist")
+            asm.load("r5", "r3", size=8)
+            asm.add("r5", "r5", 2)
+            asm.add("r3", "r3", 8)
+            asm.sub("r4", "r4", 1)
+            asm.bne("r4", 0, "dist")
+            asm.at(self.FILE, self.WORK_MEM_LINE)
+            asm.mov("r2", work_mem + tid * stride)
+            asm.addm("r2", 1, size=8)
+            asm.at(self.FILE, 992)
+            asm.sub("r0", "r0", 1)
+            asm.bne("r0", 0, "gain")
+            asm.halt()
+            threads.append(asm.build())
+        return BuiltWorkload(Program(self.name, threads), allocator)
+
+    def build_fixed(self, heap_offset: int = 0, seed: int = 0,
+                    scale: float = 1.0) -> BuiltWorkload:
+        return self.build(heap_offset, seed, scale, extra_padding=True)
+
+
+class Swaptions(Workload):
+    """HJM Monte-Carlo: pure private compute."""
+
+    name = "swaptions"
+    suite = "parsec"
+    FILE = "HJM_Securities.cpp"
+    bugs: List[BugRecord] = []
+    sheriff_support = SheriffSupport.OK
+
+    def build(self, heap_offset: int = 0, seed: int = 0,
+              scale: float = 1.0) -> BuiltWorkload:
+        allocator = Allocator(base_offset=heap_offset)
+        paths = [
+            allocator.malloc(8 * 4096, align=64, label="paths[%d]" % tid)
+            for tid in range(self.num_threads)
+        ]
+        n = iterations(1400, scale)
+        threads = []
+        for tid in range(self.num_threads):
+            asm = Assembler("swaptions_worker_%d" % tid)
+            asm.at(self.FILE, 150)
+            emit_private_stream(asm, paths[tid], n, "sim", alu_ops=8,
+                                do_store=True)
+            asm.halt()
+            threads.append(asm.build())
+        return BuiltWorkload(Program(self.name, threads), allocator)
+
+
+class Vips(Workload):
+    """Image pipeline: region hand-offs between stages."""
+
+    name = "vips"
+    suite = "parsec"
+    FILE = "im_generate.c"
+    bugs: List[BugRecord] = []
+    sheriff_support = SheriffSupport.INCOMPATIBLE
+
+    def build(self, heap_offset: int = 0, seed: int = 0,
+              scale: float = 1.0) -> BuiltWorkload:
+        allocator = Allocator(base_offset=heap_offset)
+        regions = allocator.malloc(64 * 600, align=64, label="regions")
+        outputs = [
+            allocator.malloc(8 * 4096, align=64, label="out[%d]" % tid)
+            for tid in range(self.num_threads)
+        ]
+        region_lines = iterations(90, scale)
+        n = iterations(1500, scale)
+        threads = []
+        for tid in range(self.num_threads):
+            asm = Assembler("vips_worker_%d" % tid)
+            if tid == 0:
+                asm.at(self.FILE, 90)
+                emit_startup_handoff_writes(asm, regions, region_lines, "gen")
+            asm.at(self.FILE, 101 + tid)
+            emit_handoff_read(asm, regions, region_lines, "region")
+            asm.at(self.FILE, 120)
+            emit_private_stream(asm, outputs[tid], n, "convolve", alu_ops=4,
+                                do_store=True)
+            asm.halt()
+            threads.append(asm.build())
+        return BuiltWorkload(Program(self.name, threads), allocator)
+
+
+class X264(Workload):
+    """Row-synchronized encoding: frequent small hand-offs (Figure 12)."""
+
+    name = "x264"
+    suite = "parsec"
+    FILE = "frame.c"
+    bugs: List[BugRecord] = []
+    sheriff_support = SheriffSupport.INCOMPATIBLE
+
+    def build(self, heap_offset: int = 0, seed: int = 0,
+              scale: float = 1.0) -> BuiltWorkload:
+        allocator = Allocator(base_offset=heap_offset)
+        # One row-progress word per thread, deliberately line-separated
+        # (this is communication, not false sharing).
+        progress = allocator.malloc(64 * self.num_threads, align=64,
+                                    label="row_progress")
+        macroblocks = [
+            allocator.malloc(8 * 4096, label="mb[%d]" % tid)
+            for tid in range(self.num_threads)
+        ]
+        rows = iterations(360, scale)
+        threads = []
+        for tid in range(self.num_threads):
+            pred = (tid - 1) % self.num_threads
+            asm = Assembler("x264_worker_%d" % tid)
+            asm.at(self.FILE, 40)
+            asm.mov("r0", 0)
+            asm.mov("r3", macroblocks[tid])
+            asm.label("row")
+            if tid != 0:
+                # Wait for the reference row from the previous thread.
+                asm.at(self.FILE, 48 + tid)
+                asm.mov("r1", progress + 64 * pred)
+                asm.label("wait")
+                asm.load("r2", "r1", size=8)
+                asm.bge("r2", "r0", "go")
+                asm.pause()
+                asm.jmp("wait")
+                asm.label("go")
+            # Motion estimation against the reference (reads the line the
+            # predecessor just wrote) plus private encoding work.
+            # Encoding work spread across the inlined macroblock helpers
+            # (several distinct source lines, none individually hot).
+            for part in range(4):
+                asm.at(self.FILE, 58 + 2 * part)
+                asm.mov("r4", 9)
+                asm.label("encode%d" % part)
+                asm.load("r5", "r3", size=8)
+                asm.add("r5", "r5", 7)
+                asm.store("r3", "r5", size=8)
+                asm.add("r3", "r3", 8)
+                asm.sub("r4", "r4", 1)
+                asm.bne("r4", 0, "encode%d" % part)
+            asm.at(self.FILE, 66)
+            asm.mov("r1", progress + 64 * tid)
+            asm.add("r2", "r0", 1)
+            asm.store("r1", "r2", size=8)
+            asm.add("r0", "r0", 1)
+            asm.blt("r0", rows, "row")
+            asm.halt()
+            threads.append(asm.build())
+        return BuiltWorkload(Program(self.name, threads), allocator)
+
+
+PARSEC_WORKLOADS = [
+    Blackscholes,
+    Bodytrack,
+    Canneal,
+    Dedup,
+    Facesim,
+    Ferret,
+    Fluidanimate,
+    Freqmine,
+    RaytraceParsec,
+    Streamcluster,
+    Swaptions,
+    Vips,
+    X264,
+]

@@ -1,0 +1,64 @@
+"""Workload registry: name -> workload instance, suite listings."""
+
+from typing import Dict, List
+
+from repro.errors import WorkloadError
+from repro.workloads.base import Workload
+from repro.workloads.phoenix import PHOENIX_WORKLOADS
+
+__all__ = ["all_workloads", "get_workload", "workload_names", "suite_workloads"]
+
+
+def _build_registry() -> Dict[str, Workload]:
+    registry: Dict[str, Workload] = {}
+    classes = list(PHOENIX_WORKLOADS)
+    try:
+        from repro.workloads.parsec import PARSEC_WORKLOADS
+
+        classes.extend(PARSEC_WORKLOADS)
+    except ImportError:  # pragma: no cover - during bootstrap only
+        pass
+    try:
+        from repro.workloads.splash2x import SPLASH2X_WORKLOADS
+
+        classes.extend(SPLASH2X_WORKLOADS)
+    except ImportError:  # pragma: no cover - during bootstrap only
+        pass
+    for cls in classes:
+        instance = cls()
+        if instance.name in registry:
+            raise WorkloadError("duplicate workload name %r" % instance.name)
+        registry[instance.name] = instance
+    return registry
+
+
+_REGISTRY = None
+
+
+def _registry() -> Dict[str, Workload]:
+    global _REGISTRY
+    if _REGISTRY is None:
+        _REGISTRY = _build_registry()
+    return _REGISTRY
+
+
+def all_workloads() -> List[Workload]:
+    """Every workload, in the paper's (alphabetical) table order."""
+    return [w for _name, w in sorted(_registry().items())]
+
+
+def workload_names() -> List[str]:
+    return sorted(_registry())
+
+
+def get_workload(name: str) -> Workload:
+    registry = _registry()
+    if name not in registry:
+        raise WorkloadError(
+            "unknown workload %r (have: %s)" % (name, ", ".join(sorted(registry)))
+        )
+    return registry[name]
+
+
+def suite_workloads(suite: str) -> List[Workload]:
+    return [w for w in all_workloads() if w.suite == suite]

@@ -1,0 +1,596 @@
+"""Splash2x benchmark analogs.
+
+The headline finding here is ``lu_ncb`` (Section 7.4.2): LASERDETECT
+uncovered a *novel* false-sharing bug on the ``a`` array, lu_ncb's main
+data structure.  Three properties are reproduced:
+
+* the bug is significant — aligning ``a`` to a cache-line boundary by
+  hand gives a ~36% speedup;
+* LASERREPAIR declines to repair it online: the hot loop contains a
+  barrier-style fence, so the estimated stores-per-flush ratio falls
+  below the profitability threshold ("lu_ncb's sophisticated code
+  structure is difficult for LASERREPAIR to analyze precisely, and the
+  estimated impact of the SSB instrumentation is beyond the threshold
+  deemed profitable");
+* lu_ncb is nevertheless ~30% faster under LASER "due to a coincidental
+  change in memory layout caused by LASER": the array's alignment is
+  environment-sensitive (an input-staging buffer sized off the
+  environment block precedes it), and the detector's fork perturbs the
+  environment.  We model that by keying the staging buffer's size off
+  the heap shift the fork produces.
+
+``volrend`` carries the novel true-sharing find on the lock protecting
+the ``Global->Queue`` counter (fixing it cuts HITMs an order of
+magnitude without changing runtime, Section 7.4.3), and
+``water_nsquared`` is the canonical synchronization-heavy workload that
+makes Sheriff's threads-as-processes execution model collapse
+(Figure 14) while costing LASER almost nothing.
+"""
+
+from typing import List
+
+from repro.core.detect.report import ContentionClass
+from repro.isa.assembler import Assembler
+from repro.isa.program import Program, SourceLocation
+from repro.sim.allocator import Allocator
+from repro.sim.locks import (
+    emit_barrier_wait,
+    emit_lock_release,
+    emit_naive_lock_acquire,
+    emit_ttas_lock_acquire,
+)
+from repro.workloads.base import (
+    BugRecord,
+    BuiltWorkload,
+    SheriffSupport,
+    Workload,
+    iterations,
+)
+from repro.workloads.templates import (
+    emit_handoff_read,
+    emit_private_stream,
+    emit_startup_handoff_writes,
+)
+
+__all__ = ["SPLASH2X_WORKLOADS"]
+
+
+class _BarrierPhases(Workload):
+    """Generic barrier-separated data-parallel shape (several analogs)."""
+
+    suite = "splash2x"
+    FILE = "generic.c"
+    phases = 3
+    phase_iters = 420
+    alu_ops = 4
+    handoff_lines = 0
+
+    def build(self, heap_offset: int = 0, seed: int = 0,
+              scale: float = 1.0) -> BuiltWorkload:
+        allocator = Allocator(base_offset=heap_offset)
+        data = [
+            allocator.malloc(8 * 4096, align=64, label="data[%d]" % tid)
+            for tid in range(self.num_threads)
+        ]
+        shared = allocator.malloc(64 * max(1, self.handoff_lines), align=64,
+                                  label="shared")
+        barriers = allocator.malloc(64 * (self.phases + 1), align=64,
+                                    label="barriers")
+        per_phase = iterations(self.phase_iters, scale)
+        handoff = iterations(self.handoff_lines, scale) if self.handoff_lines else 0
+        threads = []
+        for tid in range(self.num_threads):
+            asm = Assembler("%s_worker_%d" % (self.name, tid))
+            if handoff and tid == 0:
+                asm.at(self.FILE, 30)
+                emit_startup_handoff_writes(asm, shared, handoff, "init")
+            if handoff:
+                asm.at(self.FILE, 44 + tid)
+                emit_handoff_read(asm, shared, handoff, "readshared")
+            for phase in range(self.phases):
+                asm.at(self.FILE, 100 + 30 * phase)
+                emit_private_stream(asm, data[tid], per_phase,
+                                    "phase%d" % phase,
+                                    alu_ops=self.alu_ops, do_store=True)
+                asm.at(self.FILE, 118 + 30 * phase)
+                asm.mov("r9", barriers + 64 * phase)
+                emit_barrier_wait(asm, "r9", self.num_threads,
+                                  "bar%d" % phase)
+            asm.halt()
+            threads.append(asm.build())
+        return BuiltWorkload(Program(self.name, threads), allocator)
+
+
+class Barnes(_BarrierPhases):
+    name = "barnes"
+    FILE = "grav.c"
+    phases = 3
+    phase_iters = 520
+    bugs: List[BugRecord] = []
+    sheriff_support = SheriffSupport.CRASH
+
+
+class Fft(_BarrierPhases):
+    """Transpose phases: all-to-all hand-off reads between barriers."""
+
+    name = "fft"
+    FILE = "fft.c"
+    phases = 2
+    phase_iters = 760
+    handoff_lines = 60
+    bugs: List[BugRecord] = []
+    sheriff_support = SheriffSupport.CRASH
+
+
+class Fmm(_BarrierPhases):
+    name = "fmm"
+    FILE = "interactions.c"
+    phases = 4
+    phase_iters = 330
+    bugs: List[BugRecord] = []
+    sheriff_support = SheriffSupport.CRASH
+
+
+class _LuBase(Workload):
+    """LU factorization skeleton; subclasses pick the block layout."""
+
+    suite = "splash2x"
+    FILE = "lu.c"
+    UPDATE_LINE = 0
+    #: Bytes between consecutive per-thread chunks of the `a` array.
+    #: lu_ncb uses 64-byte chunks on an unaligned base, so every chunk
+    #: straddles two lines and shares each boundary line with a
+    #: neighbouring thread; lu_cb's contiguous 128-byte blocks keep
+    #: threads apart regardless of alignment.
+    chunk_stride = 64
+    env_sensitive_alignment = False
+    #: Whether `a`'s 64-byte per-thread chunks sit on an unaligned base,
+    #: so every chunk straddles two lines and shares the boundary line
+    #: with the neighbouring thread (the lu_ncb bug).
+    a_misaligned = False
+
+    def build(self, heap_offset: int = 0, seed: int = 0, scale: float = 1.0,
+              align_a: bool = False) -> BuiltWorkload:
+        allocator = Allocator(base_offset=heap_offset)
+        global_struct = None
+        if self.env_sensitive_alignment:
+            # An input-staging buffer sized off the environment block
+            # precedes the Global bookkeeping struct.  Natively (48
+            # bytes) Global's per-thread slots straddle cache lines;
+            # under the detector's fork the environment grows, the
+            # staging shrinks to 32 bytes, and Global lands on a line
+            # boundary — the "coincidental change in memory layout
+            # caused by LASER" worth ~30%, independent of the `a` bug.
+            staging = 32 if heap_offset else 48
+            allocator.malloc(staging, label="input_staging")
+            global_struct = allocator.malloc(
+                self.num_threads * 64 + 64, align=16, label="Global"
+            )
+        a_align = 64 if (align_a or not self.a_misaligned) else 16
+        blocks = iterations(170, scale)
+        a = allocator.malloc(
+            self.num_threads * self.chunk_stride + 64, align=a_align,
+            label="a",
+        )
+        barriers = allocator.malloc(64 * 2, align=64, label="barriers")
+        private = [
+            allocator.malloc(8 * 4096, label="pivot[%d]" % tid)
+            for tid in range(self.num_threads)
+        ]
+        threads = []
+        for tid in range(self.num_threads):
+            asm = Assembler("%s_worker_%d" % (self.name, tid))
+            asm.at(self.FILE, 300)
+            asm.mov("r0", blocks)
+            asm.mov("r3", private[tid])
+            asm.label("block")
+            # Pivot computation (private).
+            asm.at(self.FILE, 310)
+            asm.mov("r4", 14)
+            asm.label("pivot")
+            asm.load("r5", "r3", size=8)
+            asm.add("r5", "r5", 3)
+            asm.add("r3", "r3", 8)
+            asm.sub("r4", "r4", 1)
+            asm.bne("r4", 0, "pivot")
+            # Update this thread's chunk of `a`: writes at both ends of
+            # the 64-byte chunk, so a misaligned base makes every chunk
+            # share its boundary line with a neighbour.
+            asm.at(self.FILE, self.UPDATE_LINE)
+            asm.mov("r1", a + tid * self.chunk_stride)
+            asm.addm("r1", 1, offset=0, size=8)
+            asm.addm("r1", 1, offset=24, size=8)
+            asm.addm("r1", 1, offset=48, size=8)
+            if global_struct is not None:
+                # Per-thread Global bookkeeping slots (the structure the
+                # fork's layout shift accidentally fixes), guarded by the
+                # daemon's acquire fence — lu_ncb's "sophisticated code
+                # structure": synchronization interleaved with the data
+                # updates, which caps the SSB's stores-per-flush ratio.
+                asm.at(self.FILE, 336)
+                asm.fence()
+                asm.at(self.FILE, 338)
+                asm.mov("r2", global_struct + tid * 64)
+                asm.addm("r2", 1, offset=0, size=8)
+                asm.addm("r2", 1, offset=48, size=8)
+            # The daemon/barrier synchronization inside the block loop:
+            # this is the fence that makes SSB repair unprofitable.
+            asm.at(self.FILE, 345)
+            asm.fence()
+            asm.at(self.FILE, 350)
+            asm.sub("r0", "r0", 1)
+            asm.bne("r0", 0, "block")
+            asm.mov("r9", barriers)
+            emit_barrier_wait(asm, "r9", self.num_threads, "done")
+            asm.halt()
+            threads.append(asm.build())
+        return BuiltWorkload(Program(self.name, threads), allocator)
+
+
+class LuCb(_LuBase):
+    """Contiguous blocks: each thread's data is line-aligned (clean)."""
+
+    name = "lu_cb"
+    UPDATE_LINE = 332
+    chunk_stride = 128
+    bugs: List[BugRecord] = []
+    sheriff_support = SheriffSupport.CRASH  # native input; ok with simlarge
+    sheriff_reduced_input_ok = True
+
+
+class LuNcb(_LuBase):
+    """Non-contiguous blocks: the novel false-sharing bug on `a`."""
+
+    name = "lu_ncb"
+    UPDATE_LINE = 332
+    chunk_stride = 64
+    env_sensitive_alignment = True
+    a_misaligned = True
+    bugs = [
+        BugRecord(
+            [SourceLocation("lu.c", 332)],
+            ContentionClass.FALSE_SHARING,
+            "non-contiguous block allocation interleaves two threads' "
+            "chunks of the `a` array within single cache lines; manual "
+            "line-alignment of `a` yields ~36%",
+            significant=True,
+            sheriff_detects=False,
+        )
+    ]
+    sheriff_support = SheriffSupport.CRASH
+    sheriff_reduced_input_ok = True
+
+    def build_fixed(self, heap_offset: int = 0, seed: int = 0,
+                    scale: float = 1.0) -> BuiltWorkload:
+        built = self.build(heap_offset, seed, scale, align_a=True)
+        return built
+
+
+class OceanCp(_BarrierPhases):
+    """Stencil over a partitioned grid; boundary rows read-shared."""
+
+    name = "ocean_cp"
+    FILE = "slave1.c"
+    phases = 3
+    phase_iters = 560
+    handoff_lines = 55
+    bugs: List[BugRecord] = []
+    sheriff_support = SheriffSupport.CRASH
+
+
+class OceanNcp(_BarrierPhases):
+    name = "ocean_ncp"
+    FILE = "slave2.c"
+    phases = 3
+    phase_iters = 600
+    handoff_lines = 65
+    bugs: List[BugRecord] = []
+    sheriff_support = SheriffSupport.CRASH
+
+
+class Radiosity(Workload):
+    """Task queue with per-queue locks: diffuse lock contention."""
+
+    name = "radiosity"
+    suite = "splash2x"
+    FILE = "taskman.c"
+    bugs: List[BugRecord] = []
+    sheriff_support = SheriffSupport.CRASH
+
+    def build(self, heap_offset: int = 0, seed: int = 0,
+              scale: float = 1.0) -> BuiltWorkload:
+        allocator = Allocator(base_offset=heap_offset)
+        queue_locks = allocator.malloc(64 * self.num_threads, align=64,
+                                       label="queue_locks")
+        queues = allocator.malloc(64 * self.num_threads, align=64,
+                                  label="task_queues")
+        patches = [
+            allocator.malloc(8 * 4096, label="patches[%d]" % tid)
+            for tid in range(self.num_threads)
+        ]
+        tasks = iterations(260, scale)
+        threads = []
+        for tid in range(self.num_threads):
+            victim = (tid + 1) % self.num_threads
+            asm = Assembler("radiosity_worker_%d" % tid)
+            asm.at(self.FILE, 402)
+            asm.mov("r0", tasks)
+            asm.mov("r3", patches[tid])
+            asm.label("task")
+            # Mostly own queue; occasionally steal from the neighbour.
+            asm.at(self.FILE, 410 + (tid % 2))
+            asm.and_("r6", "r0", 7)
+            asm.mov("r1", queue_locks + 64 * tid)
+            asm.bne("r6", 0, "own")
+            asm.mov("r1", queue_locks + 64 * victim)
+            asm.label("own")
+            emit_ttas_lock_acquire(asm, "r1", "queue")
+            asm.mov("r2", queues + 64 * tid)
+            asm.addm("r2", 1, size=8)
+            emit_lock_release(asm, "r1")
+            asm.at(self.FILE, 430)
+            asm.mov("r4", 20)
+            asm.label("shade")
+            asm.load("r5", "r3", size=8)
+            asm.add("r5", "r5", 3)
+            asm.add("r3", "r3", 8)
+            asm.sub("r4", "r4", 1)
+            asm.bne("r4", 0, "shade")
+            asm.sub("r0", "r0", 1)
+            asm.bne("r0", 0, "task")
+            asm.halt()
+            threads.append(asm.build())
+        return BuiltWorkload(Program(self.name, threads), allocator)
+
+
+class Radix(Workload):
+    """Parallel radix sort: rank phase bumps a shared histogram."""
+
+    name = "radix"
+    suite = "splash2x"
+    FILE = "radix.c"
+    bugs: List[BugRecord] = []
+    sheriff_support = SheriffSupport.CRASH
+    sheriff_reduced_input_ok = True
+
+    def build(self, heap_offset: int = 0, seed: int = 0,
+              scale: float = 1.0) -> BuiltWorkload:
+        allocator = Allocator(base_offset=heap_offset)
+        global_hist = allocator.malloc(8 * 32, align=64, label="global_hist")
+        keys = [
+            allocator.malloc(8 * 4096, label="keys[%d]" % tid)
+            for tid in range(self.num_threads)
+        ]
+        barriers = allocator.malloc(64 * 2, align=64, label="barriers")
+        n = iterations(900, scale)
+        threads = []
+        for tid in range(self.num_threads):
+            asm = Assembler("radix_worker_%d" % tid)
+            asm.at(self.FILE, 540)
+            emit_private_stream(asm, keys[tid], n, "countlocal", alu_ops=3)
+            # Merge the local histogram into the shared one: a burst of
+            # contended RMWs once per phase (real, mild contention — the
+            # LASER false positive Table 1 charges to radix).
+            asm.at(self.FILE, 560)
+            asm.mov("r1", global_hist)
+            asm.mov("r0", 32)
+            asm.label("merge")
+            asm.addm("r1", 1, size=8)
+            asm.add("r1", "r1", 8)
+            asm.sub("r0", "r0", 1)
+            asm.bne("r0", 0, "merge")
+            asm.at(self.FILE, 570)
+            asm.mov("r9", barriers)
+            emit_barrier_wait(asm, "r9", self.num_threads, "rank")
+            asm.at(self.FILE, 580)
+            emit_private_stream(asm, keys[tid], n // 2, "permute",
+                                alu_ops=2, do_store=True)
+            asm.halt()
+            threads.append(asm.build())
+        return BuiltWorkload(Program(self.name, threads), allocator)
+
+
+class RaytraceSplash2x(Workload):
+    """Ray tracing with a shared job counter (benign TS noise)."""
+
+    name = "raytrace.splash2x"
+    suite = "splash2x"
+    FILE = "raytrace-splash.c"
+    bugs: List[BugRecord] = []
+    sheriff_support = SheriffSupport.OK
+    #: Sheriff-Detect's spurious allocation-site report (Table 1: 1 FP).
+    sheriff_fp_sites = ["malloc-wrapper: workpool.c"]
+
+    def build(self, heap_offset: int = 0, seed: int = 0,
+              scale: float = 1.0) -> BuiltWorkload:
+        allocator = Allocator(base_offset=heap_offset)
+        job_counter = allocator.malloc(8, align=64, label="job_counter")
+        rays = [
+            allocator.malloc(8 * 4096, label="rays[%d]" % tid)
+            for tid in range(self.num_threads)
+        ]
+        jobs = iterations(230, scale)
+        threads = []
+        for tid in range(self.num_threads):
+            asm = Assembler("rts_worker_%d" % tid)
+            asm.at(self.FILE, 210)
+            asm.mov("r0", jobs)
+            asm.mov("r3", rays[tid])
+            asm.label("job")
+            asm.at(self.FILE, 216)
+            asm.mov("r1", job_counter)
+            asm.xadd("r2", "r1", 1, size=8)
+            asm.at(self.FILE, 224)
+            asm.mov("r4", 30)
+            asm.label("trace")
+            asm.load("r5", "r3", size=8)
+            asm.add("r5", "r5", "r2")
+            asm.add("r3", "r3", 8)
+            asm.sub("r4", "r4", 1)
+            asm.bne("r4", 0, "trace")
+            asm.sub("r0", "r0", 1)
+            asm.bne("r0", 0, "job")
+            asm.halt()
+            threads.append(asm.build())
+        return BuiltWorkload(Program(self.name, threads), allocator)
+
+
+class Volrend(Workload):
+    """Novel true sharing on the lock guarding Global->Queue."""
+
+    name = "volrend"
+    suite = "splash2x"
+    FILE = "adaptive.c"
+    QUEUE_LINE = 277
+    bugs = [
+        BugRecord(
+            [SourceLocation("adaptive.c", 277)],
+            ContentionClass.TRUE_SHARING,
+            "lock protecting the Global->Queue counter; batched atomic "
+            "increments cut HITMs 10x without changing runtime",
+            significant=True,
+            sheriff_detects=False,
+        )
+    ]
+    sheriff_support = SheriffSupport.CRASH
+
+    def build(self, heap_offset: int = 0, seed: int = 0, scale: float = 1.0,
+              batched: bool = False) -> BuiltWorkload:
+        allocator = Allocator(base_offset=heap_offset)
+        lock = allocator.malloc(8, align=64, label="queue_lock")
+        queue_counter = allocator.malloc(8, align=64, label="queue_counter")
+        octree = [
+            allocator.malloc(8 * 4096, label="octree[%d]" % tid)
+            for tid in range(self.num_threads)
+        ]
+        n = iterations(240, scale)
+        batch = 8 if batched else 1
+        threads = []
+        for tid in range(self.num_threads):
+            asm = Assembler("volrend_worker_%d" % tid)
+            asm.at(self.FILE, 260)
+            asm.mov("r0", n // batch)
+            asm.mov("r3", octree[tid])
+            asm.label("rays")
+            asm.at(self.FILE, self.QUEUE_LINE)
+            if batched:
+                # The fix: one atomic add claims a batch of work items.
+                asm.mov("r1", queue_counter)
+                asm.xadd("r2", "r1", batch, size=8)
+            else:
+                asm.mov("r1", lock)
+                emit_naive_lock_acquire(asm, "r1", "queue")
+                asm.mov("r2", queue_counter)
+                asm.addm("r2", 1, size=8)
+                asm.mov("r1", lock)
+                emit_lock_release(asm, "r1")
+            asm.at(self.FILE, 290)
+            asm.mov("r4", 24 * batch)
+            asm.label("render")
+            asm.load("r5", "r3", size=8)
+            asm.add("r5", "r5", 1)
+            asm.add("r3", "r3", 8)
+            asm.sub("r4", "r4", 1)
+            asm.bne("r4", 0, "render")
+            asm.sub("r0", "r0", 1)
+            asm.bne("r0", 0, "rays")
+            asm.halt()
+            threads.append(asm.build())
+        return BuiltWorkload(Program(self.name, threads), allocator)
+
+    def build_fixed(self, heap_offset: int = 0, seed: int = 0,
+                    scale: float = 1.0) -> BuiltWorkload:
+        return self.build(heap_offset, seed, scale, batched=True)
+
+
+class WaterNsquared(Workload):
+    """Per-molecule locks everywhere: the Sheriff worst case.
+
+    The acquire/update/release sequences are inlined at many call sites
+    (distinct source lines), so although the total HITM volume is large
+    enough to put water_nsquared among the three highest-overhead
+    benchmarks under LASER (Figure 12), no single line crosses the
+    report threshold — no false positives, exactly as in Table 1.
+    """
+
+    name = "water_nsquared"
+    suite = "splash2x"
+    FILE = "interf.c"
+    bugs: List[BugRecord] = []
+    sheriff_support = SheriffSupport.OK
+
+    def build(self, heap_offset: int = 0, seed: int = 0,
+              scale: float = 1.0) -> BuiltWorkload:
+        allocator = Allocator(base_offset=heap_offset)
+        mol_locks = allocator.malloc(64 * 64, align=64, label="mol_locks")
+        forces = allocator.malloc(64 * 64, align=64, label="forces")
+        private = [
+            allocator.malloc(8 * 4096, label="positions[%d]" % tid)
+            for tid in range(self.num_threads)
+        ]
+        pairs = iterations(40, scale)
+        sites = 8  # inlined interaction sites -> 8 distinct source lines
+        threads = []
+        for tid in range(self.num_threads):
+            asm = Assembler("water_worker_%d" % tid)
+            asm.mov("r0", pairs)
+            asm.at(self.FILE, 90)
+            asm.mov("r3", private[tid])
+            asm.label("pair")
+            for site in range(sites):
+                # Lock the molecule, update its force, unlock.
+                asm.at(self.FILE, 100 + 12 * site)
+                asm.mov("r6", tid * 17 + site * 23)
+                asm.add("r6", "r6", "r0")
+                asm.and_("r6", "r6", 63)
+                asm.shl("r6", "r6", 6)
+                asm.mov("r1", mol_locks)
+                asm.add("r1", "r1", "r6")
+                emit_ttas_lock_acquire(asm, "r1", "mol%d" % site)
+                asm.at(self.FILE, 104 + 12 * site)
+                asm.mov("r2", forces)
+                asm.add("r2", "r2", "r6")
+                asm.addm("r2", 1, size=8)
+                emit_lock_release(asm, "r1")
+                # Private force math between sites.
+                asm.mov("r4", 10)
+                asm.label("math%d" % site)
+                asm.load("r5", "r3", size=8)
+                asm.add("r5", "r5", 3)
+                asm.add("r3", "r3", 8)
+                asm.sub("r4", "r4", 1)
+                asm.bne("r4", 0, "math%d" % site)
+            asm.sub("r0", "r0", 1)
+            asm.bne("r0", 0, "pair")
+            asm.halt()
+            threads.append(asm.build())
+        return BuiltWorkload(Program(self.name, threads), allocator)
+
+
+class WaterSpatial(_BarrierPhases):
+    """Cell-partitioned water: mostly private with a few barriers."""
+
+    name = "water_spatial"
+    FILE = "water-spatial.c"
+    phases = 2
+    phase_iters = 480
+    bugs: List[BugRecord] = []
+    sheriff_support = SheriffSupport.CRASH
+    sheriff_reduced_input_ok = True
+
+
+SPLASH2X_WORKLOADS = [
+    Barnes,
+    Fft,
+    Fmm,
+    LuCb,
+    LuNcb,
+    OceanCp,
+    OceanNcp,
+    Radiosity,
+    Radix,
+    RaytraceSplash2x,
+    Volrend,
+    WaterNsquared,
+    WaterSpatial,
+]

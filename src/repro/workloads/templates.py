@@ -1,0 +1,146 @@
+"""Shared program-building templates for the benchmark analogs.
+
+Each template emits a common parallel-programming idiom into a thread's
+assembler.  Combining a few of these with workload-specific data layouts
+reproduces the sharing character of each benchmark:
+
+* ``emit_private_stream`` — the contention-free bulk of data-parallel
+  code (each thread streams over its own slice).
+* ``emit_handoff_read`` — reading a large array the main thread wrote
+  (one-shot, diffuse HITMs: the pattern that makes interrupt-per-event
+  profilers slow without constituting a performance bug).
+* ``emit_locked_update`` — a lock-protected shared accumulator
+  (bounded true-sharing noise).
+* ``emit_counter_increment`` — the classic read-modify-write of a
+  shared or falsely-shared counter (the histogram/reverse_index/
+  word_count pattern).
+
+Register budget used by the templates: r0-r9 free for the caller,
+r10-r13 scratch, r14 thread id, r15 stack pointer (reserved).
+"""
+
+from repro.isa.assembler import Assembler
+from repro.sim.locks import (
+    emit_lock_release,
+    emit_naive_lock_acquire,
+    emit_ttas_lock_acquire,
+)
+
+__all__ = [
+    "emit_private_stream",
+    "emit_handoff_read",
+    "emit_locked_update",
+    "emit_counter_increment",
+    "emit_startup_handoff_writes",
+]
+
+
+def emit_private_stream(
+    asm: Assembler,
+    base_addr: int,
+    iters: int,
+    tag: str,
+    stride: int = 8,
+    alu_ops: int = 2,
+    do_store: bool = False,
+    counter_reg: str = "r0",
+    addr_reg: str = "r1",
+    value_reg: str = "r2",
+) -> None:
+    """Stream over a thread-private buffer: load, compute, maybe store."""
+    loop = "stream_loop_%s" % tag
+    asm.mov(addr_reg, base_addr)
+    asm.mov(counter_reg, iters)
+    asm.label(loop)
+    asm.load(value_reg, addr_reg, size=8)
+    for _ in range(alu_ops):
+        asm.add(value_reg, value_reg, 3)
+    if do_store:
+        asm.store(addr_reg, value_reg, size=8)
+    asm.add(addr_reg, addr_reg, stride)
+    asm.sub(counter_reg, counter_reg, 1)
+    asm.bne(counter_reg, 0, loop)
+
+
+def emit_handoff_read(
+    asm: Assembler,
+    base_addr: int,
+    num_words: int,
+    tag: str,
+    stride: int = 64,
+    counter_reg: str = "r0",
+    addr_reg: str = "r1",
+    value_reg: str = "r2",
+    acc_reg: str = "r3",
+) -> None:
+    """Read a main-thread-initialized array once (diffuse one-shot HITMs).
+
+    With ``stride=64`` each iteration touches a fresh cache line, so a
+    worker reading N words generates up to N HITM events spread over N
+    distinct lines — high HITM *volume*, negligible per-line *rate*.
+    """
+    loop = "handoff_loop_%s" % tag
+    asm.mov(addr_reg, base_addr)
+    asm.mov(counter_reg, num_words)
+    asm.label(loop)
+    asm.load(value_reg, addr_reg, size=8)
+    asm.add(acc_reg, acc_reg, value_reg)
+    asm.add(addr_reg, addr_reg, stride)
+    asm.sub(counter_reg, counter_reg, 1)
+    asm.bne(counter_reg, 0, loop)
+
+
+def emit_startup_handoff_writes(
+    asm: Assembler,
+    base_addr: int,
+    num_words: int,
+    tag: str,
+    stride: int = 64,
+    counter_reg: str = "r0",
+    addr_reg: str = "r1",
+) -> None:
+    """Main thread writes an array that workers will read (handoff)."""
+    loop = "handoff_init_%s" % tag
+    asm.mov(addr_reg, base_addr)
+    asm.mov(counter_reg, num_words)
+    asm.label(loop)
+    asm.store(addr_reg, 7, size=8)
+    asm.add(addr_reg, addr_reg, stride)
+    asm.sub(counter_reg, counter_reg, 1)
+    asm.bne(counter_reg, 0, loop)
+
+
+def emit_locked_update(
+    asm: Assembler,
+    lock_addr: int,
+    shared_addr: int,
+    tag: str,
+    naive: bool = True,
+    addr_reg: str = "r11",
+    value_reg: str = "r12",
+) -> None:
+    """Acquire a lock, bump a shared accumulator, release."""
+    asm.mov(addr_reg, lock_addr)
+    if naive:
+        emit_naive_lock_acquire(asm, addr_reg, tag)
+    else:
+        emit_ttas_lock_acquire(asm, addr_reg, tag)
+    asm.mov(value_reg, shared_addr)
+    asm.addm(value_reg, 1, size=8)
+    asm.mov(addr_reg, lock_addr)
+    emit_lock_release(asm, addr_reg)
+
+
+def emit_counter_increment(
+    asm: Assembler,
+    addr_reg: str,
+    size: int = 8,
+) -> None:
+    """The canonical contended idiom: `add $1, (addr)`.
+
+    Compilers emit counter increments as a single memory-destination RMW
+    instruction, which matters to LASERDETECT: the instruction's PC is in
+    both the load and store sets, and its load-triggered HITM records
+    carry load-grade (i.e. usable) data addresses.
+    """
+    asm.addm(addr_reg, 1, size=size)

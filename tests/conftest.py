@@ -1,0 +1,16 @@
+"""Shared fixtures for the test suite."""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from helpers import make_counter_program  # noqa: E402
+
+
+@pytest.fixture
+def fs_program():
+    """Four threads falsely sharing one cache line."""
+    return make_counter_program()

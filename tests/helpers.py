@@ -1,0 +1,46 @@
+"""Shared program-building helpers for the test suite."""
+
+from repro.isa.assembler import Assembler
+from repro.isa.program import Program
+from repro.sim.machine import Machine
+
+
+def counter_thread(base_addr: int, iters: int, stride: int = 0, tid: int = 0,
+                   use_addm: bool = False):
+    """A thread incrementing a counter at base_addr + tid*stride."""
+    asm = Assembler("counter_%d" % tid)
+    asm.at("counter.c", 10)
+    asm.mov("r1", base_addr + tid * stride)
+    asm.mov("r0", iters)
+    asm.label("loop")
+    asm.at("counter.c", 14)
+    if use_addm:
+        asm.addm("r1", 1, size=8)
+    else:
+        asm.load("r2", "r1", size=8)
+        asm.add("r2", "r2", 1)
+        asm.store("r1", "r2", size=8)
+    asm.at("counter.c", 18)
+    asm.sub("r0", "r0", 1)
+    asm.bne("r0", 0, "loop")
+    asm.halt()
+    return asm.build()
+
+
+def make_counter_program(num_threads: int = 4, iters: int = 200,
+                         stride: int = 8, base: int = 0x10000040,
+                         use_addm: bool = False) -> Program:
+    """A canonical false-sharing program (distinct words, one line)."""
+    return Program(
+        "counters",
+        [counter_thread(base, iters, stride, tid, use_addm)
+         for tid in range(num_threads)],
+    )
+
+
+def run_program(program: Program, seed: int = 0, **kwargs):
+    machine = Machine(program, seed=seed, **kwargs)
+    result = machine.run()
+    return machine, result
+
+

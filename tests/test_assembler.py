@@ -1,0 +1,122 @@
+"""Unit tests for the assembler DSL."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa.assembler import Assembler
+from repro.isa.instructions import Opcode
+from repro.isa.program import SourceLocation
+
+
+class TestOperandCoercion:
+    def test_string_register_operands(self):
+        asm = Assembler()
+        inst = asm.mov("r3", "r4")
+        assert inst.rd == 3
+        assert inst.a.is_reg and inst.a.value == 4
+
+    def test_integer_immediates(self):
+        asm = Assembler()
+        inst = asm.mov("r0", 123)
+        assert not inst.a.is_reg and inst.a.value == 123
+
+    def test_bad_operand_string_rejected(self):
+        asm = Assembler()
+        with pytest.raises(AssemblyError):
+            asm.mov("r0", "bogus")
+
+    def test_destination_must_be_register(self):
+        asm = Assembler()
+        from repro.isa.instructions import imm
+
+        with pytest.raises(AssemblyError):
+            asm.mov(imm(3), 1)
+
+
+class TestEmission:
+    def test_source_location_attaches_to_instructions(self):
+        asm = Assembler()
+        asm.at("f.c", 7)
+        inst = asm.nop()
+        assert inst.loc == SourceLocation("f.c", 7)
+
+    def test_region_marks_library_code(self):
+        asm = Assembler()
+        asm.in_region("lib")
+        assert asm.nop().region == "lib"
+        asm.in_region("app")
+        assert asm.nop().region == "app"
+
+    def test_unknown_region_rejected(self):
+        with pytest.raises(AssemblyError):
+            Assembler().in_region("kernel")
+
+    def test_every_alu_op_emits_correct_opcode(self):
+        asm = Assembler()
+        cases = [
+            (asm.add, Opcode.ADD), (asm.sub, Opcode.SUB),
+            (asm.mul, Opcode.MUL), (asm.div, Opcode.DIV),
+            (asm.and_, Opcode.AND), (asm.or_, Opcode.OR),
+            (asm.xor, Opcode.XOR), (asm.shl, Opcode.SHL),
+            (asm.shr, Opcode.SHR),
+        ]
+        for emit, opcode in cases:
+            assert emit("r0", "r1", 2).op is opcode
+
+    def test_memory_ops_carry_offset_and_size(self):
+        asm = Assembler()
+        load = asm.load("r0", "r1", offset=24, size=4)
+        assert load.offset == 24 and load.size == 4
+        store = asm.store("r1", 7, offset=8, size=2)
+        assert store.offset == 8 and store.size == 2
+        addm = asm.addm("r1", 1, offset=16, size=8)
+        assert addm.op is Opcode.ADDM and addm.offset == 16
+
+    def test_cmpxchg_operand_layout(self):
+        asm = Assembler()
+        inst = asm.cmpxchg("r2", "r1", 0, 1, size=8)
+        assert inst.rd == 2
+        assert inst.b.value == 0 and inst.c.value == 1
+
+
+class TestLabels:
+    def test_branch_targets_resolve_to_indices(self):
+        asm = Assembler()
+        asm.label("top")
+        asm.nop()
+        asm.jmp("top")
+        code = asm.build()
+        assert code.instructions[1].target == 0
+
+    def test_forward_references_resolve(self):
+        asm = Assembler()
+        asm.beq("r0", 0, "end")
+        asm.nop()
+        asm.label("end")
+        asm.halt()
+        code = asm.build()
+        assert code.instructions[0].target == 2
+
+    def test_undefined_label_rejected(self):
+        asm = Assembler()
+        asm.jmp("nowhere")
+        with pytest.raises(AssemblyError):
+            asm.build()
+
+    def test_duplicate_label_rejected(self):
+        asm = Assembler()
+        asm.label("x")
+        asm.nop()
+        with pytest.raises(AssemblyError):
+            asm.label("x")
+
+    def test_empty_thread_rejected(self):
+        with pytest.raises(AssemblyError):
+            Assembler().build()
+
+    def test_labels_preserved_in_thread_code(self):
+        asm = Assembler()
+        asm.label("entry")
+        asm.halt()
+        code = asm.build()
+        assert code.labels == {"entry": 0}

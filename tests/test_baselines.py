@@ -1,0 +1,132 @@
+"""Tests for the VTune and Sheriff baselines."""
+
+import pytest
+
+from repro.baselines.sheriff import SheriffMachine, SheriffMode, run_sheriff
+from repro.baselines.vtune import VTuneProfiler
+from repro.errors import SheriffCrash, SheriffIncompatible
+from repro.experiments.runner import run_native
+from repro.isa.assembler import Assembler
+from repro.isa.program import Program, SourceLocation
+from repro.workloads.registry import get_workload
+
+
+class TestVTune:
+    def test_profiles_and_reports_contention_lines(self):
+        result = VTuneProfiler().run_workload(get_workload("histogram'"))
+        assert any(loc.file == "histogram.c"
+                   for loc in result.reported_locations())
+
+    def test_interrupt_per_event_slows_contended_code(self):
+        workload = get_workload("histogram'")
+        native = run_native(workload)
+        result = VTuneProfiler().run_workload(workload)
+        assert result.cycles > native.cycles * 1.05
+        assert result.total_hitms > 0
+
+    def test_memory_sampling_slows_clean_dense_code(self):
+        """string_match has no contention yet suffers under VTune."""
+        workload = get_workload("string_match")
+        native = run_native(workload)
+        result = VTuneProfiler().run_workload(workload)
+        assert result.cycles > native.cycles * 1.3
+
+    def test_misses_the_dedup_queue_bug(self):
+        """Table 1's single VTune false negative."""
+        result = VTuneProfiler().run_workload(get_workload("dedup"))
+        bug_lines = set(get_workload("dedup").bug_locations())
+        assert not (set(result.reported_locations()) & bug_lines)
+
+    def test_finds_the_kmeans_bug_lines(self):
+        result = VTuneProfiler().run_workload(get_workload("kmeans"))
+        bug_lines = set(get_workload("kmeans").bug_locations())
+        assert set(result.reported_locations()) & bug_lines
+
+
+class TestSheriffCompatibility:
+    def test_incompatible_workloads_raise(self):
+        with pytest.raises(SheriffIncompatible):
+            run_sheriff(get_workload("dedup"), SheriffMode.DETECT)
+
+    def test_crashing_workloads_raise(self):
+        with pytest.raises(SheriffCrash):
+            run_sheriff(get_workload("kmeans"), SheriffMode.DETECT,
+                        allow_reduced_input=False)
+
+    def test_reduced_input_rescues_starred_benchmarks(self):
+        result = run_sheriff(get_workload("lu_ncb"), SheriffMode.PROTECT,
+                             scale=0.5)
+        assert result.reduced_input
+
+    def test_plain_flag_handoff_livelocks(self):
+        """A racy flag hand-off never becomes visible across Sheriff's
+        private address spaces: the emergent runtime error."""
+        producer = Assembler("p")
+        producer.mov("r1", 0x10000040)
+        producer.store("r1", 1, size=8)   # never followed by a sync
+        producer.label("spin_forever")
+        producer.load("r2", 0x10000048, size=8)
+        producer.beq("r2", 0, "spin_forever")
+        producer.halt()
+        consumer = Assembler("c")
+        consumer.label("wait")
+        consumer.load("r2", 0x10000040, size=8)
+        consumer.beq("r2", 0, "wait")
+        consumer.mov("r1", 0x10000048)
+        consumer.store("r1", 1, size=8)
+        consumer.halt()
+        program = Program("handoff", [producer.build(), consumer.build()])
+        machine = SheriffMachine(program, SheriffMode.PROTECT, seed=0)
+        result = machine.run(until_cycle=200_000, max_cycles=300_000)
+        assert not result.finished  # both spin forever
+
+
+class TestSheriffExecution:
+    def test_protect_eliminates_false_sharing(self):
+        """Sheriff fixes linear_regression even though Sheriff-Detect
+        detects nothing in it (Section 7.3)."""
+        workload = get_workload("linear_regression")
+        native = run_native(workload)
+        result = run_sheriff(workload, SheriffMode.PROTECT)
+        assert result.cycles < native.cycles
+
+    def test_sync_heavy_code_collapses(self):
+        """water_nsquared: per-sync diff-and-merge dominates."""
+        workload = get_workload("water_nsquared")
+        native = run_native(workload)
+        result = run_sheriff(workload, SheriffMode.PROTECT)
+        assert result.cycles > native.cycles * 2
+        assert result.machine.sync_commits > 100
+
+    def test_detect_costs_more_than_protect(self):
+        workload = get_workload("histogram'")
+        protect = run_sheriff(workload, SheriffMode.PROTECT)
+        detect = run_sheriff(workload, SheriffMode.DETECT)
+        assert detect.cycles >= protect.cycles
+        assert detect.machine.write_faults > 0
+
+    def test_atomics_commit_overlays(self):
+        """A cmpxchg publishes the thread's buffered writes."""
+        writer = Assembler("w")
+        writer.mov("r1", 0x10000040)
+        writer.store("r1", 42, size=8)
+        writer.mov("r2", 0x10000080)
+        writer.cmpxchg("r3", "r2", 0, 1, size=8)  # sync: commits overlay
+        writer.halt()
+        program = Program("commit", [writer.build()])
+        machine = SheriffMachine(program, SheriffMode.PROTECT, seed=0)
+        machine.run()
+        assert machine.memory.read(0x10000040, 8) == 42
+        assert machine.sync_commits >= 1
+
+    def test_detect_reports_allocation_sites_not_lines(self):
+        result = run_sheriff(get_workload("reverse_index"),
+                             SheriffMode.DETECT)
+        assert result.reported_sites
+        assert all(site.startswith("malloc-wrapper:")
+                   for site in result.reported_sites)
+
+    def test_sheriff_detect_misses_linear_regression(self):
+        result = run_sheriff(get_workload("linear_regression"),
+                             SheriffMode.DETECT)
+        assert result.reported_sites == []

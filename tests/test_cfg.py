@@ -1,0 +1,104 @@
+"""Unit tests for CFG construction and dominance analysis."""
+
+from repro.isa.assembler import Assembler
+from repro.isa.cfg import EXIT, build_cfg
+
+
+def loop_code():
+    """r0 iterations of a simple loop, then exit."""
+    asm = Assembler()
+    asm.mov("r0", 10)          # 0  BB0
+    asm.label("loop")
+    asm.add("r1", "r1", 1)     # 1  BB1 (loop body)
+    asm.sub("r0", "r0", 1)     # 2
+    asm.bne("r0", 0, "loop")   # 3
+    asm.halt()                 # 4  BB2 (exit)
+    return asm.build()
+
+
+def diamond_code():
+    """if/else diamond."""
+    asm = Assembler()
+    asm.beq("r0", 0, "else")   # 0  BB0
+    asm.add("r1", "r1", 1)     # 1  BB1 (then)
+    asm.jmp("join")            # 2
+    asm.label("else")
+    asm.add("r1", "r1", 2)     # 3  BB2 (else)
+    asm.label("join")
+    asm.halt()                 # 4  BB3 (join)
+    return asm.build()
+
+
+class TestBasicBlocks:
+    def test_loop_partitions_into_three_blocks(self):
+        cfg = build_cfg(loop_code())
+        assert len(cfg.blocks) == 3
+        assert [b.start for b in cfg.blocks] == [0, 1, 4]
+
+    def test_loop_edges(self):
+        cfg = build_cfg(loop_code())
+        assert cfg.blocks[0].successors == [1]
+        assert sorted(cfg.blocks[1].successors) == [1, 2]
+        assert cfg.blocks[2].successors == []
+
+    def test_predecessors_mirror_successors(self):
+        cfg = build_cfg(loop_code())
+        assert sorted(cfg.blocks[1].predecessors) == [0, 1]
+
+    def test_diamond_shape(self):
+        cfg = build_cfg(diamond_code())
+        assert len(cfg.blocks) == 4
+        assert sorted(cfg.blocks[0].successors) == [1, 2]
+        assert cfg.blocks[1].successors == [3]
+        assert cfg.blocks[2].successors == [3]
+
+    def test_block_of_instruction(self):
+        cfg = build_cfg(loop_code())
+        assert cfg.block_of_instruction(2).index == 1
+        assert cfg.block_of_instruction(4).index == 2
+
+    def test_exit_blocks(self):
+        cfg = build_cfg(loop_code())
+        assert [b.index for b in cfg.exit_blocks()] == [2]
+
+
+class TestReachability:
+    def test_reachable_from_loop_body_includes_exit(self):
+        cfg = build_cfg(loop_code())
+        assert cfg.reachable_from({1}) == {1, 2}
+
+    def test_reachable_from_entry_covers_everything(self):
+        cfg = build_cfg(diamond_code())
+        assert cfg.reachable_from({0}) == {0, 1, 2, 3}
+
+
+class TestDominance:
+    def test_entry_dominates_all(self):
+        cfg = build_cfg(diamond_code())
+        for block in cfg.blocks:
+            assert 0 in cfg.dominators(block.index)
+
+    def test_branch_arms_do_not_dominate_join(self):
+        cfg = build_cfg(diamond_code())
+        doms = cfg.dominators(3)
+        assert 1 not in doms and 2 not in doms
+
+    def test_join_post_dominates_arms(self):
+        cfg = build_cfg(diamond_code())
+        assert 3 in cfg.post_dominators(1)
+        assert 3 in cfg.post_dominators(2)
+
+    def test_exit_virtual_node_post_dominates_everything(self):
+        cfg = build_cfg(loop_code())
+        for block in cfg.blocks:
+            assert EXIT in cfg.post_dominators(block.index)
+
+    def test_loop_exit_post_dominates_body(self):
+        cfg = build_cfg(loop_code())
+        assert 2 in cfg.post_dominators(1)
+
+    def test_common_post_dominators_of_diamond_arms(self):
+        cfg = build_cfg(diamond_code())
+        common = cfg.common_post_dominators({1, 2})
+        assert 3 in common
+        assert 0 not in common

@@ -1,0 +1,111 @@
+"""Tests for the experiment harnesses (small scales)."""
+
+import pytest
+
+from repro.experiments.accuracy import (
+    AccuracyRow,
+    run_accuracy,
+    score_report_lines,
+)
+from repro.experiments.characterize import run_characterization
+from repro.experiments.runner import trimmed_mean
+from repro.experiments.sav import run_sav_sweep
+from repro.experiments.speedup import run_speedups
+from repro.experiments.tables import geomean, render_bars, render_table
+from repro.experiments.thresholds import run_threshold_sweep
+from repro.isa.program import SourceLocation
+from repro.workloads.characterization import CharacterizationCase
+from repro.workloads.registry import get_workload
+
+
+class TestHelpers:
+    def test_trimmed_mean_drops_extremes(self):
+        assert trimmed_mean([1.0, 100.0, 2.0, 3.0]) == 2.5
+
+    def test_trimmed_mean_small_samples(self):
+        assert trimmed_mean([4.0]) == 4.0
+        assert trimmed_mean([2.0, 4.0]) == 3.0
+        with pytest.raises(ValueError):
+            trimmed_mean([])
+
+    def test_geomean(self):
+        assert abs(geomean([1.0, 4.0]) - 2.0) < 1e-9
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [["x", "y"], ["long", "z"]])
+        lines = text.splitlines()
+        assert lines[2].index("y") == lines[3].index("z")
+
+    def test_render_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [["x", "y"]])
+
+    def test_render_bars(self):
+        text = render_bars(["one", "two"], [1.0, 2.0])
+        assert text.count("#") > 0
+
+
+class TestScoring:
+    def test_false_negative_when_no_bug_line_reported(self):
+        workload = get_workload("linear_regression")
+        score = score_report_lines(workload, [SourceLocation("other.c", 1)])
+        assert score["fn"] == 1 and score["fp"] == 1
+
+    def test_detection_via_any_bug_line(self):
+        workload = get_workload("linear_regression")
+        score = score_report_lines(
+            workload, [SourceLocation("linear_regression.c", 119)]
+        )
+        assert score["fn"] == 0 and score["fp"] == 0
+
+    def test_accuracy_row_dash_formatting(self):
+        row = AccuracyRow("x", 0)
+        assert row.cells()[1] == "-"
+
+
+class TestSmallScaleExperiments:
+    def test_accuracy_single_benchmark(self):
+        result = run_accuracy([get_workload("linear_regression")])
+        row = result.row_for("linear_regression")
+        assert row.laser_fn == 0
+        assert "Table 1" in result.render()
+
+    def test_threshold_sweep_is_monotone_in_fp(self):
+        result = run_threshold_sweep(
+            [get_workload("histogram'"), get_workload("pca")],
+            thresholds=[32, 1024, 65536],
+        )
+        fps = [fp for _t, fp, _fn in result.points]
+        assert fps == sorted(fps, reverse=True)
+
+    def test_threshold_sweep_fn_appears_at_extremes(self):
+        result = run_threshold_sweep(
+            [get_workload("histogram'")], thresholds=[1024, 10 ** 9]
+        )
+        _fp_low, fn_low = result.at(1024.0)
+        _fp_hi, fn_hi = result.at(float(10 ** 9))
+        assert fn_low == 0 and fn_hi == 1
+
+    def test_sav_sweep_shape(self):
+        result = run_sav_sweep("dedup", runs=1, sav_values=[1, 19])
+        assert result.normalized_at(1) > result.normalized_at(19)
+        assert "Figure 13" in result.render()
+
+    def test_speedups_include_automatic_and_manual(self):
+        result = run_speedups(runs=1)
+        auto = result.entry_for("histogram'", "automatic")
+        manual = result.entry_for("linear_regression", "manual")
+        assert auto.speedup > 1.0 and auto.repaired
+        assert manual.speedup > 3.0
+
+    def test_characterization_subset_matches_bands(self):
+        cases = [
+            CharacterizationCase("TS", "RW", "alu", 4),
+            CharacterizationCase("TS", "WW", "alu", 4),
+        ]
+        result = run_characterization(cases)
+        means = result.group_means()
+        assert means["TSRW"]["addr_correct"] > means["TSWW"]["addr_correct"]
+        assert means["TSRW"]["pc_adjacent"] > means["TSWW"]["pc_adjacent"]

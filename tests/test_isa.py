@@ -1,0 +1,138 @@
+"""Unit tests for the ISA layer: instructions, operands, programs."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa.assembler import Assembler
+from repro.isa.instructions import (
+    Instruction,
+    Opcode,
+    Operand,
+    imm,
+    reg,
+)
+from repro.isa.program import PC_STRIDE, Program, SourceLocation
+
+
+class TestOperands:
+    def test_register_operand_resolves_register_file(self):
+        regs = [0] * 16
+        regs[3] = 42
+        assert reg(3).value_of(regs) == 42
+
+    def test_immediate_operand_ignores_register_file(self):
+        assert imm(99).value_of([0] * 16) == 99
+
+    def test_register_index_bounds(self):
+        with pytest.raises(ValueError):
+            reg(16)
+        with pytest.raises(ValueError):
+            reg(-1)
+
+    def test_operand_equality_and_hash(self):
+        assert reg(2) == reg(2)
+        assert reg(2) != imm(2)
+        assert hash(reg(2)) == hash(reg(2))
+
+    def test_repr(self):
+        assert repr(reg(5)) == "r5"
+        assert repr(imm(7)) == "$7"
+
+
+class TestInstructionProperties:
+    def test_load_flags(self):
+        inst = Instruction(Opcode.LOAD, rd=0, a=reg(1))
+        assert inst.is_load and not inst.is_store and inst.is_memory_op
+
+    def test_store_flags(self):
+        inst = Instruction(Opcode.STORE, a=reg(1), b=imm(0))
+        assert inst.is_store and not inst.is_load
+
+    def test_addm_is_both_load_and_store(self):
+        inst = Instruction(Opcode.ADDM, a=reg(1), b=imm(1))
+        assert inst.is_load and inst.is_store
+
+    def test_cmpxchg_is_rmw_and_fence(self):
+        inst = Instruction(Opcode.CMPXCHG, rd=0, a=reg(1), b=imm(0), c=imm(1))
+        assert inst.is_load and inst.is_store and inst.is_fence
+
+    def test_addm_is_not_a_fence(self):
+        inst = Instruction(Opcode.ADDM, a=reg(1), b=imm(1))
+        assert not inst.is_fence
+
+    def test_branch_flags(self):
+        inst = Instruction(Opcode.BEQ, a=reg(0), b=imm(0), target=3)
+        assert inst.is_branch
+        assert not Instruction(Opcode.ADD, rd=0, a=reg(0), b=reg(1)).is_branch
+
+    def test_copy_preserves_fields_and_pc(self):
+        inst = Instruction(Opcode.STORE, a=reg(1), b=imm(9), offset=8, size=4,
+                           loc=SourceLocation("f.c", 3))
+        inst.pc = 0x400010
+        clone = inst.copy()
+        assert clone.op is Opcode.STORE
+        assert clone.b.value == 9
+        assert clone.offset == 8 and clone.size == 4
+        assert clone.pc == 0x400010
+        assert clone.loc == inst.loc
+        assert clone is not inst
+
+
+class TestProgram:
+    def _two_thread_program(self):
+        threads = []
+        for tid in range(2):
+            asm = Assembler("t%d" % tid)
+            asm.at("app.c", 10 + tid)
+            asm.mov("r0", 1)
+            asm.halt()
+            threads.append(asm.build())
+        return Program("demo", threads)
+
+    def test_pcs_are_assigned_contiguously(self):
+        program = self._two_thread_program()
+        pcs = program.all_pcs()
+        assert pcs[0] == program.code_base
+        assert pcs[-1] == program.code_base + (len(pcs) - 1) * PC_STRIDE
+        assert program.code_end == pcs[-1] + PC_STRIDE
+
+    def test_instruction_lookup_by_pc(self):
+        program = self._two_thread_program()
+        inst = program.instruction_at(program.code_base)
+        assert inst is not None and inst.op is Opcode.MOV
+        assert program.instruction_at(program.code_base + 2) is None
+
+    def test_location_mapping_round_trips(self):
+        program = self._two_thread_program()
+        loc = SourceLocation("app.c", 10)
+        pcs = program.pcs_for_location(loc)
+        assert pcs
+        assert all(program.location_of_pc(pc) == loc for pc in pcs)
+
+    def test_locations_enumerates_debug_info(self):
+        program = self._two_thread_program()
+        assert SourceLocation("app.c", 10) in program.locations()
+        assert SourceLocation("app.c", 11) in program.locations()
+
+    def test_with_thread_code_reassigns_pcs(self):
+        program = self._two_thread_program()
+        asm = Assembler("replacement")
+        asm.nop()
+        asm.nop()
+        asm.halt()
+        replaced = program.with_thread_code(0, asm.build())
+        assert replaced.num_threads == 2
+        assert len(replaced.threads[0]) == 3
+        # New program has its own dense PC map.
+        assert len(replaced.all_pcs()) == 3 + len(program.threads[1].instructions)
+
+    def test_with_thread_code_rejects_bad_index(self):
+        program = self._two_thread_program()
+        with pytest.raises(AssemblyError):
+            program.with_thread_code(5, program.threads[0])
+
+    def test_source_location_ordering_and_repr(self):
+        a = SourceLocation("a.c", 2)
+        b = SourceLocation("a.c", 10)
+        assert a < b
+        assert repr(a) == "a.c:2"

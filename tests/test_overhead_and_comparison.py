@@ -1,0 +1,48 @@
+"""Small-scale tests of the Figure 10/12/14 harness objects."""
+
+from repro.experiments.overhead import run_overhead, run_time_breakdown
+from repro.experiments.sheriff_cmp import run_sheriff_comparison
+from repro.workloads.registry import get_workload
+
+
+class TestOverheadHarness:
+    def test_overhead_rows_and_geomean(self):
+        result = run_overhead(
+            [get_workload("pca"), get_workload("histogram'")], runs=1
+        )
+        assert len(result.rows) == 2
+        pca = result.row_for("pca")
+        assert 0.9 < pca.laser_norm < 1.1   # clean benchmark: ~free
+        assert pca.vtune_norm > pca.laser_norm
+        hist = result.row_for("histogram'")
+        assert hist.laser_repaired
+        assert result.laser_geomean < result.vtune_geomean
+        assert "Figure 10" in result.render()
+
+    def test_time_breakdown_rows(self):
+        result = run_time_breakdown(names=("kmeans",))
+        [row] = result.rows
+        assert row.slowdown > 0.9
+        assert 0.0 <= row.detector_pct < 5.0
+        assert "Figure 12" in result.render()
+
+
+class TestSheriffComparisonHarness:
+    def test_crash_rows_render_as_x(self):
+        result = run_sheriff_comparison(names=["kmeans"])
+        row = result.row_for("kmeans")
+        assert row.sheriff_detect is None
+        assert "x" in row.cells()
+
+    def test_reduced_input_star(self):
+        result = run_sheriff_comparison(names=["lu_ncb"])
+        row = result.row_for("lu_ncb")
+        assert row.reduced_input
+        assert row.cells()[0].endswith("*")
+        assert row.sheriff_protect is not None  # runs with simlarge
+
+    def test_protect_beats_native_on_false_sharing(self):
+        result = run_sheriff_comparison(names=["linear_regression"])
+        row = result.row_for("linear_regression")
+        assert row.sheriff_protect < 1.0
+        assert row.manual is not None and row.manual < 0.5

@@ -1,0 +1,182 @@
+"""Tests for the PEBS substrate: imprecision, PMU sampling, driver."""
+
+from repro.isa.program import PC_STRIDE
+from repro.pebs.driver import KernelDriver
+from repro.pebs.events import PebsRecord, StrippedRecord
+from repro.pebs.imprecision import ImprecisionModel, ImprecisionParams
+from repro.pebs.pmu import PerformanceMonitoringUnit
+from repro.sim.vmmap import APP_CODE_BASE
+
+
+def make_model(seed=0, **params):
+    return ImprecisionModel(
+        APP_CODE_BASE, APP_CODE_BASE + 0x20000,
+        params=ImprecisionParams(**params), seed=seed,
+    )
+
+
+class _FakeInst:
+    def __init__(self, pc):
+        self.pc = pc
+
+
+class TestImprecision:
+    def test_load_records_track_the_paper_accuracy_bands(self):
+        """RW: ~75% correct addresses, ~40% exact PCs, ~70% adjacent."""
+        model = make_model(per_pc_jitter=0.0)
+        pc, addr = APP_CODE_BASE + 400, 0x10000040
+        n = 4000
+        stats = {"addr": 0, "exact": 0, "adj": 0}
+        for _ in range(n):
+            rpc, raddr = model.distort(pc, addr, store_triggered=False)
+            stats["addr"] += raddr == addr
+            verdict = ImprecisionModel.classify_pc(rpc, pc)
+            stats["exact"] += verdict == "exact"
+            stats["adj"] += verdict in ("exact", "adjacent")
+        assert 0.70 < stats["addr"] / n < 0.80
+        assert 0.36 < stats["exact"] / n < 0.48
+        assert 0.64 < stats["adj"] / n < 0.80
+
+    def test_store_records_are_highly_inaccurate(self):
+        """WW: ~10% correct addresses, exact PCs rare, adjacent ~34%."""
+        model = make_model(per_pc_jitter=0.0)
+        pc, addr = APP_CODE_BASE + 400, 0x10000040
+        n = 4000
+        stats = {"addr": 0, "exact": 0, "adj": 0}
+        for _ in range(n):
+            rpc, raddr = model.distort(pc, addr, store_triggered=True)
+            stats["addr"] += raddr == addr
+            verdict = ImprecisionModel.classify_pc(rpc, pc)
+            stats["exact"] += verdict == "exact"
+            stats["adj"] += verdict in ("exact", "adjacent")
+        assert stats["addr"] / n < 0.16
+        assert stats["exact"] / n < 0.12
+        assert 0.24 < stats["adj"] / n < 0.45
+
+    def test_wrong_pcs_mostly_stay_in_the_binary(self):
+        """Over 99% of incorrect PCs come from the program's binary."""
+        model = make_model(per_pc_jitter=0.0)
+        pc = APP_CODE_BASE + 400
+        wrong, in_binary = 0, 0
+        for _ in range(4000):
+            rpc, _ = model.distort(pc, 0x10000040, store_triggered=True)
+            if ImprecisionModel.classify_pc(rpc, pc) == "wrong":
+                wrong += 1
+                in_binary += APP_CODE_BASE <= rpc < APP_CODE_BASE + 0x20000
+        assert wrong > 0
+        assert in_binary / wrong > 0.97
+
+    def test_wrong_addresses_mostly_unmapped(self):
+        """95% of incorrect data addresses come from unmapped space."""
+        from repro.pebs.imprecision import UNMAPPED_BASE, UNMAPPED_SPAN
+
+        model = make_model(per_pc_jitter=0.0)
+        wrong, unmapped = 0, 0
+        for _ in range(4000):
+            _, raddr = model.distort(APP_CODE_BASE + 400, 0x10000040, True)
+            if raddr != 0x10000040:
+                wrong += 1
+                unmapped += UNMAPPED_BASE <= raddr < UNMAPPED_BASE + UNMAPPED_SPAN
+        assert unmapped / wrong > 0.88
+
+    def test_per_pc_jitter_spreads_test_cases(self):
+        """Different PCs get different accuracies (the Figure 3 scatter)."""
+        model = make_model(per_pc_jitter=0.15)
+        rates = []
+        for pc_index in range(8):
+            pc = APP_CODE_BASE + 64 * pc_index
+            exact = sum(
+                ImprecisionModel.classify_pc(
+                    model.distort(pc, 0x10000040, False)[0], pc
+                ) == "exact"
+                for _ in range(500)
+            )
+            rates.append(exact / 500)
+        assert max(rates) - min(rates) > 0.05
+
+    def test_classify_pc(self):
+        assert ImprecisionModel.classify_pc(100, 100) == "exact"
+        assert ImprecisionModel.classify_pc(100 + PC_STRIDE, 100) == "adjacent"
+        assert ImprecisionModel.classify_pc(100 + 5 * PC_STRIDE, 100) == "wrong"
+
+
+class TestPmu:
+    def test_sav_samples_every_nth_event_per_core(self):
+        driver = KernelDriver()
+        pmu = PerformanceMonitoringUnit(make_model(), driver,
+                                        sample_after_value=5)
+        inst = _FakeInst(APP_CODE_BASE + 40)
+        for _ in range(23):
+            pmu.on_hitm(0, inst, 0x10000040, False, 0)
+        assert pmu.hitm_counts[0] == 23
+        assert pmu.records_generated == 4  # events 5, 10, 15, 20
+
+    def test_sav_counters_are_per_core(self):
+        pmu = PerformanceMonitoringUnit(make_model(), KernelDriver(),
+                                        sample_after_value=10)
+        inst = _FakeInst(APP_CODE_BASE + 40)
+        for core in range(4):
+            for _ in range(9):
+                pmu.on_hitm(core, inst, 0x10000040, False, 0)
+        assert pmu.records_generated == 0
+        assert pmu.total_hitm_count == 36
+
+    def test_disabled_pebs_counts_but_never_records(self):
+        pmu = PerformanceMonitoringUnit(make_model(), KernelDriver(),
+                                        sample_after_value=1,
+                                        pebs_enabled=False)
+        inst = _FakeInst(APP_CODE_BASE + 40)
+        assert pmu.on_hitm(0, inst, 0x10000040, False, 0) == 0
+        assert pmu.total_hitm_count == 1
+        assert pmu.records_generated == 0
+
+    def test_record_cost_charged_on_sampled_events_only(self):
+        pmu = PerformanceMonitoringUnit(make_model(), KernelDriver(),
+                                        sample_after_value=2, record_cost=123)
+        inst = _FakeInst(APP_CODE_BASE + 40)
+        assert pmu.on_hitm(0, inst, 0x10000040, False, 0) == 0
+        assert pmu.on_hitm(0, inst, 0x10000040, False, 0) >= 123
+
+
+class TestDriver:
+    def _record(self, core, cycle):
+        return PebsRecord(APP_CODE_BASE + 4, 0x10000040, core, cycle, False)
+
+    def test_buffer_full_interrupt(self):
+        driver = KernelDriver(buffer_records=4, interrupt_cost=999)
+        costs = [driver.deliver(self._record(0, i)) for i in range(4)]
+        assert costs == [0, 0, 0, 999]
+        assert driver.interrupts == 1
+        assert len(driver.read_records()) == 4
+
+    def test_records_stripped_to_pc_addr_core(self):
+        driver = KernelDriver(buffer_records=1)
+        driver.deliver(self._record(2, 77))
+        [rec] = driver.read_records()
+        assert isinstance(rec, StrippedRecord)
+        assert rec.core == 2 and rec.cycle == 77
+
+    def test_timestamp_merge_across_cores(self):
+        """Records from different core buffers come out in TSC order."""
+        driver = KernelDriver(buffer_records=3)
+        for i in range(3):
+            driver.deliver(self._record(0, 10 + i))
+        for i in range(3):
+            driver.deliver(self._record(1, 5 + i))
+        records = driver.read_records()
+        cycles = [r.cycle for r in records]
+        assert cycles == sorted(cycles)
+
+    def test_flush_all_drains_partial_buffers(self):
+        driver = KernelDriver(buffer_records=64)
+        driver.deliver(self._record(0, 1))
+        driver.deliver(self._record(1, 2))
+        assert driver.pending_records == 2
+        assert len(driver.flush_all()) == 2
+        assert driver.pending_records == 0
+
+    def test_driver_cycles_accumulate(self):
+        driver = KernelDriver(buffer_records=2, interrupt_cost=100)
+        for i in range(6):
+            driver.deliver(self._record(0, i))
+        assert driver.driver_cycles == 300

@@ -1,0 +1,239 @@
+"""Tests for LASERREPAIR: analysis, alias speculation, rewriting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.repair.analysis import analyze_thread
+from repro.core.repair.cost import ASSUMED_TRIP_COUNT, estimate_stores_per_flush
+from repro.core.repair.manager import LaserRepair
+from repro.core.repair.rewrite import rewrite_thread
+from repro.isa.assembler import Assembler
+from repro.isa.cfg import build_cfg
+from repro.isa.instructions import Opcode
+from repro.isa.program import Program
+from repro.sim.machine import Machine
+
+from helpers import make_counter_program
+
+
+def loop_store_code(with_fence=False, exempt_load=True):
+    """Contending store loop, optionally with a fence per iteration."""
+    asm = Assembler("w")
+    asm.mov("r1", 0x10000040)   # store base
+    asm.mov("r3", 0x10008000)   # private load base (different register)
+    asm.mov("r0", 50)
+    asm.label("loop")
+    if exempt_load:
+        asm.load("r4", "r3", size=8)
+    asm.add("r4", "r4", 1)
+    asm.store("r1", "r4", size=8)
+    if with_fence:
+        asm.fence()
+    asm.sub("r0", "r0", 1)
+    asm.bne("r0", 0, "loop")
+    asm.halt()
+    return asm.build()
+
+
+def contending_pcs_of(code, program):
+    return {
+        inst.pc for inst in code.instructions if inst.op is Opcode.STORE
+    }
+
+
+class TestAnalysis:
+    def test_contending_loop_gets_flush_at_exit(self):
+        code = loop_store_code()
+        program = Program("p", [code])
+        analysis = analyze_thread(code, contending_pcs_of(code, program))
+        assert analysis.has_contention
+        cfg = analysis.cfg
+        # The flush block must be outside the loop (the exit block).
+        assert analysis.flush_block is not None
+        flush_block = cfg.blocks[analysis.flush_block]
+        loop_block = cfg.block_of_instruction(
+            next(i for i, inst in enumerate(code.instructions)
+                 if inst.op is Opcode.STORE)
+        )
+        assert flush_block.index != loop_block.index
+        assert flush_block.start > loop_block.end - 1
+
+    def test_region_covers_loop_but_not_past_flush(self):
+        code = loop_store_code()
+        program = Program("p", [code])
+        analysis = analyze_thread(code, contending_pcs_of(code, program))
+        assert analysis.flush_block not in analysis.region_blocks
+
+    def test_no_contention_yields_empty_analysis(self):
+        code = loop_store_code()
+        analysis = analyze_thread(code, {0xDEAD})
+        assert not analysis.has_contention
+        assert analysis.instrumented_instruction_indices() == set()
+
+    def test_speculative_alias_exempts_independent_load(self):
+        code = loop_store_code(exempt_load=True)
+        program = Program("p", [code])
+        analysis = analyze_thread(code, contending_pcs_of(code, program))
+        load_index = next(i for i, inst in enumerate(code.instructions)
+                          if inst.op is Opcode.LOAD)
+        assert load_index in analysis.exempt_loads
+        assert load_index in analysis.alias_checks
+
+    def test_load_through_store_register_not_exempt(self):
+        asm = Assembler("w")
+        asm.mov("r1", 0x10000040)
+        asm.mov("r0", 10)
+        asm.label("loop")
+        asm.load("r4", "r1", size=8)   # same base register as the store
+        asm.store("r1", "r4", size=8)
+        asm.sub("r0", "r0", 1)
+        asm.bne("r0", 0, "loop")
+        asm.halt()
+        code = asm.build()
+        program = Program("p", [code])
+        pcs = {inst.pc for inst in code.instructions
+               if inst.op is Opcode.STORE}
+        analysis = analyze_thread(code, pcs)
+        load_index = next(i for i, inst in enumerate(code.instructions)
+                          if inst.op is Opcode.LOAD)
+        assert load_index not in analysis.exempt_loads
+
+
+class TestCostModel:
+    def test_fence_free_loop_is_very_profitable(self):
+        code = loop_store_code(with_fence=False)
+        cfg = build_cfg(code)
+        region = {cfg.block_of_instruction(4).index}
+        ratio = estimate_stores_per_flush(cfg, region)
+        assert ratio >= ASSUMED_TRIP_COUNT
+
+    def test_fence_inside_loop_caps_the_ratio(self):
+        code = loop_store_code(with_fence=True)
+        cfg = build_cfg(code)
+        store_index = next(i for i, inst in enumerate(code.instructions)
+                           if inst.op is Opcode.STORE)
+        region = {cfg.block_of_instruction(store_index).index}
+        ratio = estimate_stores_per_flush(cfg, region)
+        assert ratio <= 1.0
+
+
+class TestRewrite:
+    def test_stores_become_ssb_stores(self):
+        code = loop_store_code()
+        program = Program("p", [code])
+        analysis = analyze_thread(code, contending_pcs_of(code, program))
+        new_code, index_map = rewrite_thread(code, analysis)
+        ops = [inst.op for inst in new_code.instructions]
+        assert Opcode.SSB_STORE in ops
+        assert Opcode.SSB_FLUSH in ops
+        assert Opcode.ALIAS_CHECK in ops
+        assert Opcode.STORE not in ops or True  # stores outside region stay
+
+    def test_index_map_is_order_preserving_and_total(self):
+        code = loop_store_code()
+        program = Program("p", [code])
+        analysis = analyze_thread(code, contending_pcs_of(code, program))
+        _new_code, index_map = rewrite_thread(code, analysis)
+        assert set(index_map) == set(range(len(code.instructions)))
+        values = [index_map[i] for i in range(len(code.instructions))]
+        assert values == sorted(values)
+
+    def test_branch_targets_retargeted(self):
+        code = loop_store_code()
+        program = Program("p", [code])
+        analysis = analyze_thread(code, contending_pcs_of(code, program))
+        new_code, index_map = rewrite_thread(code, analysis)
+        for old, new in zip(code.instructions,
+                            (new_code.instructions[index_map[i]]
+                             for i in range(len(code.instructions)))):
+            if old.is_branch:
+                assert new.target == index_map[old.target]
+
+
+class TestManagerAndEquivalence:
+    def test_plan_and_attach_repair_false_sharing(self):
+        program = make_counter_program(iters=300)
+        baseline = Machine(make_counter_program(iters=300), seed=1)
+        baseline_result = baseline.run()
+
+        machine = Machine(program, seed=1)
+        repairer = LaserRepair()
+        pcs = {
+            inst.pc for inst in program.all_instructions()
+            if inst.op is Opcode.STORE
+        }
+        plan = repairer.plan(program, pcs)
+        assert plan.profitable
+        repairer.attach(machine, plan)
+        result = machine.run()
+        # Same final memory values...
+        for tid in range(4):
+            assert machine.memory.read(0x10000040 + 8 * tid, 8) == 300
+        # ...with (nearly) all coherence contention gone.
+        assert result.hitm_count < baseline_result.hitm_count / 5
+
+    def test_unprofitable_plan_is_rejected(self):
+        code = loop_store_code(with_fence=True)
+        program = Program("p", [code])
+        repairer = LaserRepair(min_stores_per_flush=4.0)
+        pcs = {inst.pc for inst in code.instructions
+               if inst.op is Opcode.STORE}
+        plan = repairer.plan(program, pcs)
+        assert not plan.profitable
+        assert "stores/flush" in plan.rejected_reason
+        with pytest.raises(ValueError):
+            repairer.attach(Machine(program), plan)
+
+    def test_plan_with_unknown_pcs_rejected(self):
+        program = make_counter_program()
+        plan = LaserRepair().plan(program, {0xDEAD})
+        assert not plan.profitable
+
+    @given(st.lists(
+        st.tuples(st.integers(0, 6), st.integers(0, 11),
+                  st.sampled_from([1, 2, 4, 8]), st.booleans()),
+        min_size=1, max_size=12,
+    ), st.integers(2, 9))
+    @settings(max_examples=30, deadline=None)
+    def test_single_threaded_equivalence(self, ops, trip_count):
+        """Instrumented code computes exactly what native code computes.
+
+        Random loops of loads/stores over a small arena, instrumented
+        with the full SSB treatment, must leave identical memory and
+        registers (Section 5.2's single-threaded semantics).
+        """
+        def build():
+            asm = Assembler("w")
+            asm.mov("r1", 0x10000000)
+            asm.mov("r0", trip_count)
+            asm.label("loop")
+            for reg_off, slot, size, is_store in ops:
+                if is_store:
+                    asm.store("r1", reg_off + 1, offset=slot * 8, size=size)
+                else:
+                    asm.load("r%d" % (2 + reg_off % 6), "r1",
+                             offset=slot * 8, size=size)
+                asm.add("r2", "r2", 1)
+            asm.sub("r0", "r0", 1)
+            asm.bne("r0", 0, "loop")
+            asm.halt()
+            return Program("prop", [asm.build()])
+
+        native_program = build()
+        native = Machine(native_program, seed=0, jitter=False)
+        native.run()
+
+        program = build()
+        pcs = {inst.pc for inst in program.all_instructions()
+               if inst.is_memory_op}
+        repairer = LaserRepair(min_stores_per_flush=0.0)
+        plan = repairer.plan(program, pcs)
+        machine = Machine(program, seed=0, jitter=False)
+        if plan.profitable:
+            repairer.attach(machine, plan)
+        machine.run()
+
+        assert (machine.memory.read_bytes(0x10000000, 128)
+                == native.memory.read_bytes(0x10000000, 128))
+        assert machine.cores[0].registers == native.cores[0].registers
