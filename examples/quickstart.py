@@ -9,7 +9,13 @@ Runs the linear_regression benchmark analog three ways:
    alignment of the `lreg_args` array).
 
 Usage: python examples/quickstart.py
+
+Exits 0 on a clean run; any unexpected exception is reported and the
+process exits 1 (so the example doubles as a smoke test in CI).
 """
+
+import sys
+import traceback
 
 from repro.core import Laser, LaserConfig
 from repro.experiments.runner import run_built_native, run_native
@@ -27,6 +33,7 @@ def main():
     result = laser.run_workload(workload)
     print("under LASER:       %8d cycles  (%.2fx native, repaired=%s)" % (
         result.cycles, result.cycles / native.cycles, result.repaired))
+    print("run health:        %s" % result.health.summary())
 
     print("\nLASERDETECT report:")
     print(result.report.render())
@@ -39,4 +46,9 @@ def main():
 
 
 if __name__ == "__main__":
-    main()
+    try:
+        main()
+    except Exception:
+        traceback.print_exc()
+        print("quickstart failed — see traceback above", file=sys.stderr)
+        sys.exit(1)

@@ -101,6 +101,20 @@ PEBS_BUFFER_RECORDS = 64
 #: event (the VTune configuration described in Section 7.1).
 PER_EVENT_INTERRUPT_COST = 2_500
 
+#: Capacity of the driver's detector-facing outbox (the kernel device's
+#: internal buffer), in stripped records.  A healthy detector drains the
+#: outbox every check interval, which leaves it far below this bound;
+#: the bound matters when the detector stalls — the driver then drops
+#: new records (with accounting) instead of growing without limit.
+DRIVER_OUTBOX_CAPACITY = 65_536
+
+#: Consecutive HTM aborts a software store buffer tolerates before it
+#: abandons transactional coalesced flushes and falls back to
+#: non-coalesced per-store writeback in program order (TSO-preserving,
+#: just slower) — the RTM idiom of retrying a few times and then taking
+#: the fallback path.
+HTM_ABORT_FALLBACK_THRESHOLD = 3
+
 #: Detector-side processing cost per record, in cycles; the detector runs
 #: on a spare core so this only contributes to LASER CPU-time accounting,
 #: not application slowdown (Figure 12).

@@ -1,6 +1,6 @@
 """LASER itself: detection (Section 4), repair (Section 5), system (Section 6)."""
 
 from repro.core.config import LaserConfig
-from repro.core.laser import Laser, LaserRunResult
+from repro.core.laser import Laser, LaserRunResult, RunHealth
 
-__all__ = ["LaserConfig", "Laser", "LaserRunResult"]
+__all__ = ["LaserConfig", "Laser", "LaserRunResult", "RunHealth"]

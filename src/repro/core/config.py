@@ -3,7 +3,16 @@
 Defaults follow the paper's evaluation setup (Section 7): SAV 19, a
 detection rate threshold of 1K HITMs/sec, and online repair triggered
 when a false-sharing line's HITM rate is high enough to merit it.
+
+The degradation knobs (backoff, watchdog, outbox bound) default to
+values under which a healthy run is bit-identical to a run without the
+degradation machinery: the outbox bound is far above what a draining
+detector accumulates, the backoff only changes *when* repair is
+re-evaluated (re-evaluation is free in simulated cycles), and the
+watchdog only fires when a repair demonstrably stopped paying off.
 """
+
+from repro._constants import DRIVER_OUTBOX_CAPACITY, HTM_ABORT_FALLBACK_THRESHOLD
 
 __all__ = ["LaserConfig"]
 
@@ -22,11 +31,29 @@ class LaserConfig:
         detection_enabled: bool = True,
         repair_enabled: bool = True,
         seed: int = 0,
+        outbox_capacity: int = DRIVER_OUTBOX_CAPACITY,
+        repair_backoff_intervals: int = 2,
+        repair_backoff_max: int = 32,
+        rollback_enabled: bool = True,
+        watchdog_windows: int = 3,
+        watchdog_rate_ratio: float = 0.5,
+        watchdog_abort_rate: float = 4.0,
+        htm_abort_fallback_threshold: int = HTM_ABORT_FALLBACK_THRESHOLD,
     ):
         if sample_after_value < 1:
             raise ValueError("SAV must be >= 1")
         if rate_threshold < 0 or repair_trigger_rate < 0:
             raise ValueError("thresholds must be non-negative")
+        if outbox_capacity < 1:
+            raise ValueError("outbox capacity must be >= 1")
+        if repair_backoff_intervals < 1 or repair_backoff_max < 1:
+            raise ValueError("backoff intervals must be >= 1")
+        if watchdog_windows < 1:
+            raise ValueError("watchdog_windows must be >= 1")
+        if not 0.0 <= watchdog_rate_ratio <= 1.0:
+            raise ValueError("watchdog_rate_ratio must be in [0, 1]")
+        if htm_abort_fallback_threshold < 1:
+            raise ValueError("htm_abort_fallback_threshold must be >= 1")
         #: PEBS Sample-After Value; 19 is the paper's default (a prime,
         #: per the PEBS experience reports it cites).
         self.sample_after_value = sample_after_value
@@ -48,6 +75,30 @@ class LaserConfig:
         self.detection_enabled = detection_enabled
         self.repair_enabled = repair_enabled
         self.seed = seed
+        #: Bound on the driver's detector-facing outbox; overflow drops
+        #: records (with accounting) instead of growing without limit.
+        self.outbox_capacity = outbox_capacity
+        #: After a rejected (or failed) repair evaluation, skip this
+        #: many check intervals before re-evaluating...
+        self.repair_backoff_intervals = repair_backoff_intervals
+        #: ...doubling the skip on every further rejection, up to this
+        #: cap (exponential backoff; replaces the old permanent bail).
+        self.repair_backoff_max = repair_backoff_max
+        #: Whether the post-repair watchdog may detach a repair that
+        #: stopped paying off.
+        self.rollback_enabled = rollback_enabled
+        #: Detection windows the watchdog observes after an attach
+        #: before judging the repair.
+        self.watchdog_windows = watchdog_windows
+        #: The repair is judged worthwhile only if the post-repair HITM
+        #: rate fell below this fraction of the rate at attach time.
+        self.watchdog_rate_ratio = watchdog_rate_ratio
+        #: SSB HTM aborts per watchdog window above which the repair is
+        #: judged to be thrashing the HTM.
+        self.watchdog_abort_rate = watchdog_abort_rate
+        #: Consecutive HTM aborts before an SSB abandons transactional
+        #: flushes for per-store writeback (see ``repro.core.repair.ssb``).
+        self.htm_abort_fallback_threshold = htm_abort_fallback_threshold
 
     def replace(self, **kwargs) -> "LaserConfig":
         """Return a copy with some fields overridden."""
@@ -61,6 +112,14 @@ class LaserConfig:
             detection_enabled=self.detection_enabled,
             repair_enabled=self.repair_enabled,
             seed=self.seed,
+            outbox_capacity=self.outbox_capacity,
+            repair_backoff_intervals=self.repair_backoff_intervals,
+            repair_backoff_max=self.repair_backoff_max,
+            rollback_enabled=self.rollback_enabled,
+            watchdog_windows=self.watchdog_windows,
+            watchdog_rate_ratio=self.watchdog_rate_ratio,
+            watchdog_abort_rate=self.watchdog_abort_rate,
+            htm_abort_fallback_threshold=self.htm_abort_fallback_threshold,
         )
         fields.update(kwargs)
         return LaserConfig(**fields)

@@ -9,20 +9,104 @@ consumes records while the application runs.  At every check interval
 the detector evaluates false-sharing rates and may invoke LASERREPAIR,
 which attaches to the running machine like Pin attaches to a running
 process.
+
+Deployability is the paper's whole argument, so the loop is built to
+degrade rather than die:
+
+* a stalled detector (``DetectorStall``) skips its poll; the bounded
+  driver outbox absorbs the backlog (dropping with accounting beyond
+  its capacity) and the next healthy poll resyncs;
+* a rejected or failed repair evaluation backs off exponentially and
+  is re-evaluated later — contention character shifts at runtime, so
+  "unprofitable now" is not "unprofitable forever";
+* an attached repair is watched: if the post-repair HITM rate shows
+  the repair stopped paying off (or the SSB is thrashing the HTM),
+  the watchdog detaches the instrumentation, restoring the original
+  program;
+* every degradation event is tallied in a :class:`RunHealth` record on
+  the result, and under *any* fault schedule the run completes with a
+  (possibly degraded) report instead of an exception.
 """
 
 from typing import Optional, Set
 
+from repro._constants import CYCLES_PER_SECOND
 from repro.core.config import LaserConfig
 from repro.core.detect.pipeline import DetectionPipeline
 from repro.core.detect.report import ContentionReport
 from repro.core.repair.manager import LaserRepair, RepairPlan
+from repro.errors import DetectorStall, RepairError
+from repro.faults import FaultInjector, FaultPlan
 from repro.pebs.driver import KernelDriver
 from repro.pebs.imprecision import ImprecisionModel
 from repro.pebs.pmu import PerformanceMonitoringUnit
 from repro.sim.machine import Machine
 
-__all__ = ["Laser", "LaserRunResult"]
+__all__ = ["Laser", "LaserRunResult", "RunHealth"]
+
+
+class RunHealth:
+    """Degradation tally for one run: what was lost, what was survived.
+
+    All-zero counters mean the run was pristine — the graceful-
+    degradation machinery observed nothing and changed nothing.
+    """
+
+    _FIELDS = (
+        "records_dropped",
+        "records_lost",
+        "records_corrupted",
+        "detector_stalls",
+        "detector_restarts",
+        "repair_rejections",
+        "repair_errors",
+        "rollbacks",
+        "htm_aborts",
+        "injected_htm_aborts",
+        "ssb_fallback_activations",
+        "faults_injected",
+    )
+    __slots__ = _FIELDS
+
+    def __init__(self, **counts: int):
+        for field in self._FIELDS:
+            setattr(self, field, counts.pop(field, 0))
+        if counts:
+            raise TypeError("unknown RunHealth fields: %s" % sorted(counts))
+
+    @property
+    def degraded(self) -> bool:
+        """True if anything was lost, restarted, rolled back or faulted.
+
+        A repair *rejection* is not degradation — declining an
+        unprofitable repair is the healthy path (Section 5.4) — so
+        ``repair_rejections`` is reported but not counted here.
+        """
+        return any(
+            getattr(self, field)
+            for field in self._FIELDS
+            if field != "repair_rejections"
+        )
+
+    def as_dict(self) -> dict:
+        return {field: getattr(self, field) for field in self._FIELDS}
+
+    def summary(self) -> str:
+        """One line for operators (quickstart prints this)."""
+        if not self.degraded:
+            return "healthy (no drops, stalls, rollbacks or faults)"
+        parts = [
+            "%s=%d" % (field, getattr(self, field))
+            for field in self._FIELDS
+            if getattr(self, field)
+        ]
+        return "degraded: " + " ".join(parts)
+
+    def __eq__(self, other):
+        return isinstance(other, RunHealth) and self.as_dict() == other.as_dict()
+
+    def __repr__(self):
+        return "<RunHealth %s>" % self.summary()
 
 
 class LaserRunResult:
@@ -38,6 +122,7 @@ class LaserRunResult:
         driver: KernelDriver,
         pipeline: DetectionPipeline,
         machine: Machine,
+        health: Optional[RunHealth] = None,
     ):
         self.cycles = cycles
         self.report = report
@@ -47,6 +132,7 @@ class LaserRunResult:
         self.driver = driver
         self.pipeline = pipeline
         self.machine = machine
+        self.health = health or RunHealth()
 
     @property
     def detector_cycles(self) -> int:
@@ -63,21 +149,32 @@ class LaserRunResult:
         """Total busy CPU time across application cores."""
         return sum(core.stats.busy_cycles for core in self.machine.cores)
 
+    @property
+    def rolled_back(self) -> bool:
+        """True if a repair was applied and later detached."""
+        return self.health.rollbacks > 0
+
     def __repr__(self):
-        return "<LaserRunResult cycles=%d hitms=%d repaired=%s>" % (
+        return "<LaserRunResult cycles=%d hitms=%d repaired=%s%s>" % (
             self.cycles,
             self.pmu.total_hitm_count,
             self.repaired,
+            " DEGRADED" if self.health.degraded else "",
         )
 
 
 class Laser:
     """The deployable system: detect + (optionally) repair online."""
 
-    def __init__(self, config: Optional[LaserConfig] = None):
+    def __init__(self, config: Optional[LaserConfig] = None,
+                 faults: Optional[FaultPlan] = None):
         self.config = config or LaserConfig()
+        #: Fault schedule applied to every run (empty = free, identical
+        #: to no injection at all).
+        self.faults = faults or FaultPlan()
         self.repairer = LaserRepair(
-            min_stores_per_flush=self.config.min_stores_per_flush
+            min_stores_per_flush=self.config.min_stores_per_flush,
+            abort_fallback_threshold=self.config.htm_abort_fallback_threshold,
         )
 
     # ------------------------------------------------------------------
@@ -99,10 +196,12 @@ class Laser:
         """Monitor an already-built program."""
         config = self.config
         program = built.program
+        injector = FaultInjector(self.faults)
         machine = Machine(
             program,
             seed=config.seed,
             allocator=built.allocator,
+            fault_injector=injector,
         )
         built.apply_init(machine)
 
@@ -112,45 +211,129 @@ class Laser:
         imprecision = ImprecisionModel(
             app_region.start, app_region.end, seed=config.seed
         )
-        driver = KernelDriver()
+        driver = KernelDriver(
+            outbox_capacity=config.outbox_capacity, injector=injector
+        )
         pmu = PerformanceMonitoringUnit(
             imprecision,
             driver=driver,
             sample_after_value=config.sample_after_value,
             pebs_enabled=config.detection_enabled,
+            injector=injector,
         )
         machine.on_hitm = pmu.on_hitm
         pipeline = DetectionPipeline(
             program, machine.vmmap, config.sample_after_value
         )
 
+        health = RunHealth()
         repaired = False
+        rolled_back = False
         plan: Optional[RepairPlan] = None
         next_check = config.check_interval_cycles
         window_start = 0
+        stalled = False
+        backoff_remaining = 0
+        next_backoff = config.repair_backoff_intervals
+        # Watchdog state (meaningful only while a repair is attached).
+        attach_rate = 0.0
+        windows_since_attach = 0
+        mark_cycle = 0
+        mark_hitm = 0
+        mark_aborts = 0
+
         while True:
             result = machine.run(until_cycle=next_check, max_cycles=max_cycles)
             # The detector's periodic poll forces a drain of partially
             # filled per-core buffers (otherwise records would sit until
             # the 64-record buffer-full interrupt, blinding the online
-            # repair trigger on short phases).
-            pipeline.process(driver.flush_all())
-            pipeline.roll_window(machine.cycle - window_start)
-            window_start = machine.cycle
+            # repair trigger on short phases).  A stalled detector skips
+            # the poll; records back up in the bounded driver outbox and
+            # the next healthy poll resyncs over the combined window.
+            try:
+                if injector.fires("detector.stall"):
+                    raise DetectorStall(
+                        "detector missed poll at cycle %d" % machine.cycle
+                    )
+                if stalled:
+                    stalled = False
+                    health.detector_restarts += 1
+                pipeline.process(driver.flush_all())
+                pipeline.roll_window(machine.cycle - window_start)
+                window_start = machine.cycle
+            except DetectorStall:
+                health.detector_stalls += 1
+                stalled = True
             if result.finished:
                 break
             next_check = machine.cycle + config.check_interval_cycles
+            if stalled:
+                continue  # a stalled detector evaluates nothing
             if not (config.repair_enabled and config.detection_enabled):
                 continue
-            if repaired or (plan is not None and plan.rejected_reason):
-                continue  # already repaired, or already deemed unprofitable
-            plan = self._maybe_repair(machine, pipeline)
+            if repaired:
+                # Post-repair watchdog: judge the attached repair every
+                # watchdog_windows windows; detach if it stopped paying.
+                windows_since_attach += 1
+                if (config.rollback_enabled
+                        and windows_since_attach % config.watchdog_windows == 0):
+                    elapsed = machine.cycle - mark_cycle
+                    post_rate = (
+                        (pmu.total_hitm_count - mark_hitm)
+                        * CYCLES_PER_SECOND / elapsed
+                        if elapsed > 0 else 0.0
+                    )
+                    aborts = self._ssb_abort_count(machine)
+                    abort_rate = (aborts - mark_aborts) / config.watchdog_windows
+                    if (post_rate >= config.watchdog_rate_ratio * attach_rate
+                            or abort_rate >= config.watchdog_abort_rate):
+                        self.repairer.detach(machine, plan)
+                        health.rollbacks += 1
+                        repaired = False
+                        rolled_back = True
+                    else:
+                        mark_cycle = machine.cycle
+                        mark_hitm = pmu.total_hitm_count
+                        mark_aborts = aborts
+                continue
+            if rolled_back:
+                continue  # one rollback ends repair attempts for the run
+            if backoff_remaining > 0:
+                backoff_remaining -= 1
+                continue
+            try:
+                if injector.fires("repair.error"):
+                    raise RepairError(
+                        "injected repair analysis failure at cycle %d"
+                        % machine.cycle
+                    )
+                plan = self._maybe_repair(machine, pipeline)
+            except RepairError:
+                health.repair_errors += 1
+                backoff_remaining = next_backoff
+                next_backoff = min(next_backoff * 2, config.repair_backoff_max)
+                continue
             if plan is not None and plan.profitable:
                 self.repairer.attach(machine, plan)
                 repaired = True
+                windows_since_attach = 0
+                attach_rate = (
+                    pmu.total_hitm_count * CYCLES_PER_SECOND / machine.cycle
+                    if machine.cycle > 0 else 0.0
+                )
+                mark_cycle = machine.cycle
+                mark_hitm = pmu.total_hitm_count
+                mark_aborts = self._ssb_abort_count(machine)
+            elif plan is not None and plan.rejected_reason:
+                # Re-evaluate later instead of bailing out permanently:
+                # contention character shifts, and so does profitability.
+                health.repair_rejections += 1
+                backoff_remaining = next_backoff
+                next_backoff = min(next_backoff * 2, config.repair_backoff_max)
 
         pipeline.process(driver.flush_all())
         report = pipeline.report(machine.cycle, config.rate_threshold)
+        self._finalize_health(health, machine, driver, injector, plan)
         return LaserRunResult(
             cycles=machine.cycle,
             report=report,
@@ -160,7 +343,35 @@ class Laser:
             driver=driver,
             pipeline=pipeline,
             machine=machine,
+            health=health,
         )
+
+    @staticmethod
+    def _ssb_abort_count(machine: Machine) -> int:
+        return sum(
+            core.ssb.stats.htm_aborts
+            for core in machine.cores
+            if core.ssb is not None
+        )
+
+    @staticmethod
+    def _finalize_health(health: "RunHealth", machine: Machine,
+                         driver: KernelDriver, injector: FaultInjector,
+                         plan: Optional[RepairPlan]) -> None:
+        health.records_dropped = driver.records_dropped
+        health.records_lost = injector.fired["pebs.record_drop"]
+        health.records_corrupted = injector.fired["pebs.record_corrupt"]
+        health.htm_aborts = machine.htm.aborts
+        health.injected_htm_aborts = injector.fired["htm.abort"]
+        buffers = [
+            core.ssb for core in machine.cores if core.ssb is not None
+        ]
+        if plan is not None:
+            buffers.extend(plan.detached_buffers)
+        health.ssb_fallback_activations = sum(
+            ssb.stats.fallback_activations for ssb in buffers
+        )
+        health.faults_injected = injector.total_fired
 
     # ------------------------------------------------------------------
     # Repair trigger (Section 4.4)

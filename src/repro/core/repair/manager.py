@@ -10,6 +10,7 @@ buffer.
 
 from typing import Dict, List, Optional, Set
 
+from repro._constants import HTM_ABORT_FALLBACK_THRESHOLD
 from repro.core.repair.analysis import ThreadRepairAnalysis, analyze_thread
 from repro.core.repair.rewrite import rewrite_thread
 from repro.core.repair.ssb import SoftwareStoreBuffer
@@ -28,6 +29,9 @@ class RepairPlan:
         self.new_codes: Dict[int, ThreadCode] = {}
         self.index_maps: Dict[int, Dict[int, int]] = {}
         self.rejected_reason: Optional[str] = None
+        #: SSBs removed by :meth:`LaserRepair.detach` (stats survive the
+        #: rollback for end-of-run health accounting).
+        self.detached_buffers: List[SoftwareStoreBuffer] = []
 
     @property
     def profitable(self) -> bool:
@@ -47,13 +51,16 @@ class RepairPlan:
 
 
 class LaserRepair:
-    """Builds and applies repair plans."""
+    """Builds, applies and rolls back repair plans."""
 
-    def __init__(self, min_stores_per_flush: float = 4.0):
+    def __init__(self, min_stores_per_flush: float = 4.0,
+                 abort_fallback_threshold: int = HTM_ABORT_FALLBACK_THRESHOLD):
         self.min_stores_per_flush = min_stores_per_flush
+        self.abort_fallback_threshold = abort_fallback_threshold
         self.plans_built = 0
         self.plans_applied = 0
         self.plans_rejected = 0
+        self.plans_detached = 0
 
     # ------------------------------------------------------------------
     # Planning
@@ -97,8 +104,63 @@ class LaserRepair:
         for tid in plan.threads_instrumented:
             core = machine.cores[tid]
             core.replace_code(plan.new_codes[tid].instructions, plan.index_maps[tid])
-            ssb = SoftwareStoreBuffer(machine, tid)
+            ssb = SoftwareStoreBuffer(
+                machine, tid,
+                abort_fallback_threshold=self.abort_fallback_threshold,
+            )
             core.ssb = ssb
             buffers.append(ssb)
         self.plans_applied += 1
         return buffers
+
+    # ------------------------------------------------------------------
+    # Detach (rollback: the Pin-detach analog)
+    # ------------------------------------------------------------------
+
+    def detach(self, machine, plan: RepairPlan) -> None:
+        """Roll the instrumentation back out of a running machine.
+
+        The inverse of :meth:`attach`: each instrumented thread's SSB is
+        drained (pending stores become globally visible — the flush is
+        the same TSO-preserving flush the instrumented code uses), the
+        buffer is detached, and the original instruction stream is
+        swapped back in with the program counter translated through the
+        inverse index map.  A thread paused *at* an injected flush or
+        alias check resumes at the original instruction the injection
+        guarded; with no SSB attached the guard is vacuous, so skipping
+        it is semantically exact.
+        """
+        for tid in plan.threads_instrumented:
+            core = machine.cores[tid]
+            ssb = core.ssb
+            if ssb is not None:
+                if not ssb.empty():
+                    ssb.flush(tid)
+                    core.stats.ssb_flushes += 1
+                plan.detached_buffers.append(ssb)
+            core.ssb = None
+            inverse = _invert_index_map(
+                plan.index_maps[tid], len(plan.new_codes[tid].instructions)
+            )
+            core.replace_code(
+                plan.program.threads[tid].instructions, inverse
+            )
+        self.plans_detached += 1
+
+
+def _invert_index_map(index_map: Dict[int, int], new_len: int) -> Dict[int, int]:
+    """Map every new-code index back to an original index.
+
+    Indices of original instructions map to their source; indices of
+    injected instructions (flushes, alias checks — always inserted
+    *before* an original instruction) map to the original index of the
+    instruction they guard, i.e. the next original instruction.
+    """
+    by_new = {new: old for old, new in index_map.items()}
+    inverse: Dict[int, int] = {}
+    following_old = None
+    for new in range(new_len - 1, -1, -1):
+        if new in by_new:
+            following_old = by_new[new]
+        inverse[new] = following_old
+    return inverse

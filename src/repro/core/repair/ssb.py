@@ -13,11 +13,26 @@ If a flush nevertheless exceeds HTM capacity (the pre-emptive flush at 8
 cache lines normally prevents this), the fallback splits the write set
 into capacity-sized chunks committed in FIFO order — still far stronger
 than per-entry writeback.
+
+A transaction can also abort for reasons unrelated to capacity —
+conflicts, interrupts — and a persistently-aborting HTM must not wedge
+the flush path.  The buffer therefore keeps a FIFO log of the raw
+stores alongside the coalesced byte map; after
+``abort_fallback_threshold`` *consecutive* aborts it permanently stops
+using the HTM and writes the log back **per store, in program order**.
+That is the non-coalesced writeback the paper rejects as slow — but it
+is TSO-correct without any transaction (each thread's stores become
+visible in program order), which is exactly the property the graceful
+degradation path must preserve.
 """
 
 from typing import List, Tuple
 
-from repro._constants import CACHE_LINE_SIZE, L1_ASSOCIATIVITY
+from repro._constants import (
+    CACHE_LINE_SIZE,
+    HTM_ABORT_FALLBACK_THRESHOLD,
+    L1_ASSOCIATIVITY,
+)
 from repro.errors import HtmAbort
 from repro.sim.htm import HardwareTransactionalMemory
 
@@ -28,7 +43,8 @@ class SsbStats:
     """Counters for one thread's SSB."""
 
     __slots__ = ("puts", "full_hits", "partial_hits", "misses", "flushes",
-                 "flushed_entries", "htm_aborts", "misspeculations")
+                 "flushed_entries", "htm_aborts", "misspeculations",
+                 "fallback_activations", "fallback_stores")
 
     def __init__(self):
         self.puts = 0
@@ -39,18 +55,28 @@ class SsbStats:
         self.flushed_entries = 0
         self.htm_aborts = 0
         self.misspeculations = 0
+        self.fallback_activations = 0
+        self.fallback_stores = 0
 
 
 class SoftwareStoreBuffer:
     """Thread-private coalescing store buffer."""
 
     def __init__(self, machine, core_id: int,
-                 preflush_lines: int = L1_ASSOCIATIVITY):
+                 preflush_lines: int = L1_ASSOCIATIVITY,
+                 abort_fallback_threshold: int = HTM_ABORT_FALLBACK_THRESHOLD):
         self.machine = machine
         self.core_id = core_id
         self.preflush_lines = preflush_lines
+        self.abort_fallback_threshold = abort_fallback_threshold
         self._bytes = {}  # addr -> byte value
         self._lines = set()
+        #: Program-order log of raw stores since the last flush; the
+        #: source of truth for the non-coalesced fallback path.
+        self._fifo: List[Tuple[int, int, int]] = []
+        self.consecutive_aborts = 0
+        #: Once True, every flush bypasses the HTM (per-store writeback).
+        self.fallback_active = False
         self.stats = SsbStats()
 
     # ------------------------------------------------------------------
@@ -63,6 +89,7 @@ class SoftwareStoreBuffer:
             byte_addr = addr + i
             data[byte_addr] = (value >> (8 * i)) & 0xFF
             self._lines.add(byte_addr // CACHE_LINE_SIZE)
+        self._fifo.append((addr, value, size))
         self.stats.puts += 1
 
     def empty(self) -> bool:
@@ -147,9 +174,12 @@ class SoftwareStoreBuffer:
         return (start, value, len(run_bytes))
 
     def flush(self, core_id: int) -> int:
-        """Write everything back in one hardware transaction."""
+        """Write everything back; atomically when the HTM cooperates."""
         if not self._bytes:
+            self._fifo.clear()
             return 0
+        if self.fallback_active:
+            return self._flush_per_store(core_id)
         writes = self._coalesced_writes()
         latency_model = self.machine.latency
         latency = latency_model.ssb_flush_base
@@ -157,17 +187,70 @@ class SoftwareStoreBuffer:
         htm: HardwareTransactionalMemory = self.machine.htm
         try:
             latency += htm.execute_atomically(core_id, writes)
+            self.consecutive_aborts = 0
         except HtmAbort:
-            # Capacity fallback: commit in capacity-sized FIFO chunks.
             self.stats.htm_aborts += 1
-            for chunk in htm.split_for_capacity(writes, htm.capacity_lines):
+            self.consecutive_aborts += 1
+            if self.consecutive_aborts >= self.abort_fallback_threshold:
+                latency += self._activate_fallback()
+                return latency + self._flush_per_store(core_id)
+            # Capacity fallback: commit in capacity-sized FIFO chunks.
+            chunks = htm.split_for_capacity(writes, htm.capacity_lines)
+            for index, chunk in enumerate(chunks):
                 latency += latency_model.ssb_flush_base
-                latency += htm.execute_atomically(core_id, chunk)
+                try:
+                    latency += htm.execute_atomically(core_id, chunk)
+                except HtmAbort:
+                    # The chunks abort too (an abort storm, not mere
+                    # capacity).  Give up on the HTM and write this and
+                    # every remaining chunk back entry by entry — the
+                    # committed prefix stays FIFO-ordered.
+                    self.stats.htm_aborts += 1
+                    self.consecutive_aborts += 1
+                    latency += self._activate_fallback()
+                    for remaining in chunks[index:]:
+                        latency += self._write_entries(core_id, remaining)
+                    break
         self.stats.flushes += 1
         self.stats.flushed_entries += len(writes)
+        self._clear()
+        return latency
+
+    def _activate_fallback(self) -> int:
+        self.fallback_active = True
+        self.stats.fallback_activations += 1
+        return 0
+
+    def _flush_per_store(self, core_id: int) -> int:
+        """Replay the FIFO store log, one store at a time, in order.
+
+        No transaction, no coalescing: each store becomes globally
+        visible in program order, so TSO holds without the HTM.
+        """
+        latency = self.machine.latency.ssb_flush_base
+        latency += self._write_entries(core_id, self._fifo)
+        self.stats.flushes += 1
+        self.stats.flushed_entries += len(self._fifo)
+        self._clear()
+        return latency
+
+    def _write_entries(self, core_id: int,
+                       entries: List[Tuple[int, int, int]]) -> int:
+        """Write (addr, value, size) entries back directly, in order."""
+        machine = self.machine
+        per_entry = machine.latency.ssb_flush_entry
+        latency = 0
+        for addr, value, size in entries:
+            result = machine.directory.access(core_id, addr, size, is_write=True)
+            latency += result.latency + per_entry
+            machine.memory.write(addr, value, size)
+            self.stats.fallback_stores += 1
+        return latency
+
+    def _clear(self) -> None:
         self._bytes.clear()
         self._lines.clear()
-        return latency
+        self._fifo.clear()
 
     def note_misspeculation(self) -> None:
         """Record that a speculative alias check failed (Section 5.3)."""

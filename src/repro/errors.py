@@ -1,5 +1,23 @@
 """Exception hierarchy for the LASER reproduction."""
 
+from typing import Optional
+
+__all__ = [
+    "ReproError",
+    "AssemblyError",
+    "SimulationError",
+    "MemoryError_",
+    "DeadlockError",
+    "AllocationError",
+    "HtmAbort",
+    "RepairError",
+    "DetectorStall",
+    "FaultInjectionError",
+    "WorkloadError",
+    "SheriffIncompatible",
+    "SheriffCrash",
+]
+
 
 class ReproError(Exception):
     """Base class for every error raised by this package."""
@@ -26,19 +44,58 @@ class AllocationError(SimulationError):
 
 
 class HtmAbort(ReproError):
-    """A hardware transaction aborted (capacity or conflict).
+    """A hardware transaction aborted (capacity, conflict, or injected).
 
-    Raised internally by the HTM model and handled by the SSB flush logic;
-    carries the abort reason for diagnostics.
+    Raised internally by the HTM model and handled by the SSB flush
+    logic.  Mirrors the RTM abort status word: a structured ``reason``
+    plus the context needed to decide between retry and fallback.
+
+    ``reason``
+        Short classification string; starts with ``"capacity"`` or
+        ``"conflict"`` (free text after the classification is allowed
+        for diagnostics, e.g. ``"capacity: 9 lines > 8 ways"``).
+    ``abort_pc``
+        PC of the instruction whose flush aborted, when known.
+    ``conflict_line``
+        Cache line index implicated in the abort, when known.
+    ``abort_count``
+        The HTM's running abort counter at the time of this abort
+        (used by the SSB's consecutive-abort fallback policy).
     """
 
-    def __init__(self, reason: str):
+    def __init__(self, reason: str, abort_pc: Optional[int] = None,
+                 conflict_line: Optional[int] = None, abort_count: int = 0):
         super().__init__(reason)
         self.reason = reason
+        self.abort_pc = abort_pc
+        self.conflict_line = conflict_line
+        self.abort_count = abort_count
+
+    @property
+    def is_capacity(self) -> bool:
+        return self.reason.startswith("capacity")
+
+    @property
+    def is_conflict(self) -> bool:
+        return self.reason.startswith("conflict")
 
 
 class RepairError(ReproError):
     """LASERREPAIR could not analyze or instrument the target program."""
+
+
+class DetectorStall(ReproError):
+    """The userspace detector missed one or more poll intervals.
+
+    Raised at the detector's poll site (by fault injection, or by any
+    future real stall condition) and handled by ``Laser.run_built``,
+    which skips the poll, lets driver buffers back up, and resyncs on
+    the next healthy poll.  Never escapes the run loop.
+    """
+
+
+class FaultInjectionError(ReproError):
+    """A fault plan is malformed (unknown site, bad probability...)."""
 
 
 class WorkloadError(ReproError):

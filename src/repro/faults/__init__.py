@@ -1,0 +1,23 @@
+"""Deterministic fault injection for the online detect/repair loop.
+
+The LASER system must survive noisy PEBS records, full driver buffers,
+stalled detectors, HTM abort storms and failed repair analyses while
+the application keeps running (Sections 4-6 argue deployability; the
+degradation machinery in ``repro.core.laser`` delivers it).  This
+package provides the adversary: a seeded :class:`FaultPlan` schedules
+faults at named sites, and a :class:`FaultInjector` replays the
+schedule deterministically during a run.
+
+The two invariants the rest of the repository tests against:
+
+* an **empty plan is free** — a run under ``FaultPlan()`` is
+  bit-identical to a run with no fault machinery at all;
+* **no schedule is fatal** — under any plan the run completes and
+  returns a (possibly degraded) report, with the degradation
+  summarized in ``LaserRunResult.health``.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FAULT_SITES, FaultPlan, FaultSpec
+
+__all__ = ["FAULT_SITES", "FaultPlan", "FaultSpec", "FaultInjector"]

@@ -1,0 +1,73 @@
+"""The fault injector: per-occurrence decisions for a fault plan.
+
+One injector instance is created per run (``Laser.run_built`` builds a
+fresh one each time) and is threaded through the components that host
+fault sites: the PMU, the kernel driver, the HTM, and the repair
+trigger.  Each component asks ``injector.fires(site)`` at its site;
+the injector counts the occurrence, consults the plan's spec for that
+site, and answers deterministically.
+
+Sites with no spec short-circuit to ``False`` without touching any
+RNG, so an injector built from an empty plan is observationally free:
+the surrounding run is bit-identical to one with no injector at all.
+"""
+
+import random
+from typing import Dict, Optional
+
+from repro.faults.plan import FAULT_SITES, FaultPlan
+from repro.rng import derive_seed
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Deterministic per-site fire/no-fire decisions for one run."""
+
+    def __init__(self, plan: Optional[FaultPlan] = None):
+        self.plan = plan or FaultPlan()
+        #: How many times each site was *reached* (asked).
+        self.occurrences: Dict[str, int] = {site: 0 for site in FAULT_SITES}
+        #: How many times each site actually fired.
+        self.fired: Dict[str, int] = {site: 0 for site in FAULT_SITES}
+        self._rngs: Dict[str, random.Random] = {}
+
+    # ------------------------------------------------------------------
+    # Decision point
+    # ------------------------------------------------------------------
+
+    def fires(self, site: str) -> bool:
+        """Count one occurrence of ``site``; decide whether it faults."""
+        index = self.occurrences[site]
+        self.occurrences[site] = index + 1
+        spec = self.plan.spec_for(site)
+        if spec is None:
+            return False
+        if spec.max_fires is not None and self.fired[site] >= spec.max_fires:
+            return False
+        fire = index in spec.at
+        if not fire and spec.probability > 0.0:
+            fire = self.rng(site).random() < spec.probability
+        if fire:
+            self.fired[site] += 1
+        return fire
+
+    def rng(self, site: str) -> random.Random:
+        """The site's private RNG stream (payload randomness lives here)."""
+        if site not in self._rngs:
+            self._rngs[site] = random.Random(
+                derive_seed(self.plan.seed, "fault:" + site)
+            )
+        return self._rngs[site]
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def total_fired(self) -> int:
+        return sum(self.fired.values())
+
+    def __repr__(self):
+        fired = {site: n for site, n in self.fired.items() if n}
+        return "<FaultInjector fired=%s>" % (fired or "{}")

@@ -10,30 +10,48 @@ originating core to the detector."
 
 The interrupt cost is charged to the core whose buffer filled; total
 driver CPU time is tracked separately for the Figure 12 breakdown.
+
+The internal buffer (the *outbox*) is bounded: a kernel driver cannot
+let a stalled reader grow an allocation without limit, so when the
+outbox is full the driver drops the freshly drained records and counts
+them in ``records_dropped`` — the detector observes the loss through
+the count, never through a crash.
 """
 
-from typing import List
+from typing import List, Optional
 
-from repro._constants import DRIVER_INTERRUPT_COST, NUM_CORES, PEBS_BUFFER_RECORDS
+from repro._constants import (
+    DRIVER_INTERRUPT_COST,
+    DRIVER_OUTBOX_CAPACITY,
+    NUM_CORES,
+    PEBS_BUFFER_RECORDS,
+)
 from repro.pebs.events import PebsRecord, StrippedRecord
 
 __all__ = ["KernelDriver"]
 
 
 class KernelDriver:
-    """Per-core PEBS buffers draining into a detector-facing queue."""
+    """Per-core PEBS buffers draining into a bounded detector queue."""
 
     def __init__(self, num_cores: int = NUM_CORES,
                  buffer_records: int = PEBS_BUFFER_RECORDS,
-                 interrupt_cost: int = DRIVER_INTERRUPT_COST):
+                 interrupt_cost: int = DRIVER_INTERRUPT_COST,
+                 outbox_capacity: int = DRIVER_OUTBOX_CAPACITY,
+                 injector=None):
         self.num_cores = num_cores
         self.buffer_records = buffer_records
         self.interrupt_cost = interrupt_cost
+        self.outbox_capacity = outbox_capacity
+        #: Optional :class:`repro.faults.FaultInjector`; hosts the
+        #: ``driver.outbox_overflow`` site.
+        self.injector = injector
         self._core_buffers: List[List[PebsRecord]] = [[] for _ in range(num_cores)]
         self._outbox: List[StrippedRecord] = []
         self.interrupts = 0
         self.driver_cycles = 0
         self.records_forwarded = 0
+        self.records_dropped = 0
 
     # ------------------------------------------------------------------
     # PMU-facing side
@@ -52,9 +70,16 @@ class KernelDriver:
 
     def _drain_core(self, core: int) -> None:
         buffer = self._core_buffers[core]
+        if not buffer:
+            return
+        overflow = (self.injector is not None
+                    and self.injector.fires("driver.outbox_overflow"))
         for rec in buffer:
-            self._outbox.append(StrippedRecord.from_pebs(rec))
-            self.records_forwarded += 1
+            if overflow or len(self._outbox) >= self.outbox_capacity:
+                self.records_dropped += 1
+            else:
+                self._outbox.append(StrippedRecord.from_pebs(rec))
+                self.records_forwarded += 1
         buffer.clear()
 
     # ------------------------------------------------------------------
@@ -68,10 +93,13 @@ class KernelDriver:
         records carry a TSC field): without the merge, each interrupt
         would deliver a burst of same-core records, and the detector's
         cache line model would see artificial same-address runs.
+        Same-TSC records from different cores are tie-broken by
+        (core, pc) so the merge order is a property of the records, not
+        of buffer-drain order.
         """
         out = self._outbox
         self._outbox = []
-        out.sort(key=lambda record: record.cycle)
+        out.sort(key=lambda record: (record.cycle, record.core, record.pc))
         return out
 
     def flush_all(self) -> List[StrippedRecord]:

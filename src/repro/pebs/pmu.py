@@ -32,6 +32,7 @@ class PerformanceMonitoringUnit:
         num_cores: int = NUM_CORES,
         record_cost: int = PEBS_RECORD_COST,
         pebs_enabled: bool = True,
+        injector=None,
     ):
         if sample_after_value < 1:
             raise ValueError("SAV must be >= 1")
@@ -41,6 +42,9 @@ class PerformanceMonitoringUnit:
         self.num_cores = num_cores
         self.record_cost = record_cost
         self.pebs_enabled = pebs_enabled
+        #: Optional :class:`repro.faults.FaultInjector`; hosts the
+        #: ``pebs.record_drop`` and ``pebs.record_corrupt`` sites.
+        self.injector = injector
         self.hitm_counts: List[int] = [0] * num_cores
         self.records_generated = 0
 
@@ -68,6 +72,15 @@ class PerformanceMonitoringUnit:
         )
         self.records_generated += 1
         extra = self.record_cost
+        if self.injector is not None:
+            if self.injector.fires("pebs.record_drop"):
+                # The microcode assist still ran; the record is lost on
+                # its way to the per-core buffer.
+                return extra
+            if self.injector.fires("pebs.record_corrupt"):
+                rng = self.injector.rng("pebs.record_corrupt")
+                record.pc = rng.getrandbits(40)
+                record.data_addr = rng.getrandbits(40)
         if self.driver is not None:
             extra += self.driver.deliver(record)
         return extra

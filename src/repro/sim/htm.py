@@ -30,18 +30,22 @@ class HardwareTransactionalMemory:
     """Executes atomic write sets against memory + coherence."""
 
     def __init__(self, memory: Memory, directory: CoherenceDirectory,
-                 capacity_lines: int = L1_ASSOCIATIVITY):
+                 capacity_lines: int = L1_ASSOCIATIVITY, injector=None):
         self.memory = memory
         self.directory = directory
         self.capacity_lines = capacity_lines
+        #: Optional :class:`repro.faults.FaultInjector`; hosts the
+        #: ``htm.abort`` site (conflict abort storms).
+        self.injector = injector
         self.commits = 0
         self.aborts = 0
 
     def execute_atomically(self, core: int, writes: Iterable[WriteEntry]) -> int:
         """Commit ``writes`` as one transaction; returns cycle cost.
 
-        Raises :class:`HtmAbort` on capacity overflow, leaving memory
-        untouched (aborted transactions roll back completely).
+        Raises :class:`HtmAbort` on capacity overflow (or an injected
+        conflict), leaving memory untouched (aborted transactions roll
+        back completely).
         """
         writes = list(writes)
         lines = set()
@@ -52,7 +56,16 @@ class HardwareTransactionalMemory:
         if len(lines) > self.capacity_lines:
             self.aborts += 1
             raise HtmAbort(
-                "capacity: %d lines > %d ways" % (len(lines), self.capacity_lines)
+                "capacity: %d lines > %d ways" % (len(lines), self.capacity_lines),
+                conflict_line=max(lines) if lines else None,
+                abort_count=self.aborts,
+            )
+        if self.injector is not None and self.injector.fires("htm.abort"):
+            self.aborts += 1
+            raise HtmAbort(
+                "conflict: injected remote access to the write set",
+                conflict_line=min(lines) if lines else None,
+                abort_count=self.aborts,
             )
         latency = 0
         for addr, value, size in writes:

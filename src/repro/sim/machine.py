@@ -78,6 +78,7 @@ class Machine:
         num_cores: int = NUM_CORES,
         jitter: bool = True,
         allocator: Optional[Allocator] = None,
+        fault_injector=None,
     ):
         if program.num_threads > num_cores:
             raise SimulationError(
@@ -91,7 +92,12 @@ class Machine:
         self.vmmap = default_memory_map(program.num_threads, program.code_end)
         self.allocator = allocator or Allocator(base_offset=heap_offset)
         self.directory = CoherenceDirectory(self.latency, num_cores=num_cores)
-        self.htm = HardwareTransactionalMemory(self.memory, self.directory)
+        #: Optional :class:`repro.faults.FaultInjector` shared by the
+        #: fault-hosting components of this machine (currently the HTM).
+        self.fault_injector = fault_injector
+        self.htm = HardwareTransactionalMemory(
+            self.memory, self.directory, injector=fault_injector
+        )
         self.cores: List[Core] = []
         for tid, thread in enumerate(program.threads):
             core = Core(tid, self, thread.instructions)

@@ -2,7 +2,9 @@
 
 from repro.isa.assembler import Assembler
 from repro.isa.program import Program
+from repro.sim.allocator import Allocator
 from repro.sim.machine import Machine
+from repro.workloads.base import BuiltWorkload
 
 
 def counter_thread(base_addr: int, iters: int, stride: int = 0, tid: int = 0,
@@ -42,5 +44,93 @@ def run_program(program: Program, seed: int = 0, **kwargs):
     machine = Machine(program, seed=seed, **kwargs)
     result = machine.run()
     return machine, result
+
+
+SHIFT_FILE = "shift.c"
+SHIFT_EARLY_PC_LINE = 14   # the instrumented addm in the early threads
+SHIFT_LATE_PC_LINE = 54    # the never-instrumented addm in the late threads
+
+
+def _shift_early_thread(tid: int, line_a: int, private: int,
+                        i1: int, i2: int):
+    """A hot addm whose target shifts from contended to private data.
+
+    The addm at shift.c:14 is what LASER instruments when line_a's
+    false sharing triggers repair; once the loop switches to the
+    thread-private target, the instrumentation is pure overhead (an
+    SSB store against an L1 hit) with nothing left to absorb.
+    """
+    asm = Assembler("shift_early_%d" % tid)
+    asm.at(SHIFT_FILE, 8)
+    asm.mov("r3", line_a + tid * 8)
+    asm.mov("r4", private + tid * 128)
+    asm.mov("r0", i1 + i2)
+    asm.label("loop")
+    asm.at(SHIFT_FILE, 12)
+    asm.blt("r0", i2 + 1, "private_phase")
+    asm.mov("r1", "r3")
+    asm.jmp("work")
+    asm.label("private_phase")
+    asm.mov("r1", "r4")
+    asm.label("work")
+    asm.at(SHIFT_FILE, SHIFT_EARLY_PC_LINE)
+    asm.addm("r1", 1, size=8)
+    asm.at(SHIFT_FILE, 16)
+    asm.sub("r0", "r0", 1)
+    asm.bne("r0", 0, "loop")
+    asm.halt()
+    return asm.build()
+
+
+def _shift_late_thread(tid: int, line_b: int, private: int,
+                       n1: int, n2: int):
+    """Private warm-up, then false sharing on line_b at a fresh PC."""
+    asm = Assembler("shift_late_%d" % tid)
+    asm.at(SHIFT_FILE, 40)
+    asm.mov("r1", private + tid * 128)
+    asm.mov("r0", n1)
+    asm.label("warmup")
+    asm.at(SHIFT_FILE, 44)
+    asm.addm("r1", 1, size=8)
+    asm.sub("r0", "r0", 1)
+    asm.bne("r0", 0, "warmup")
+    asm.at(SHIFT_FILE, 50)
+    asm.mov("r1", line_b + (tid - 2) * 8)
+    asm.mov("r0", n2)
+    asm.label("contend")
+    asm.at(SHIFT_FILE, SHIFT_LATE_PC_LINE)
+    asm.addm("r1", 1, size=8)
+    asm.sub("r0", "r0", 1)
+    asm.bne("r0", 0, "contend")
+    asm.halt()
+    return asm.build()
+
+
+def build_shifted_workload(i1: int = 4000, i2: int = 20000,
+                           n1: int = None, n2: int = 5000) -> BuiltWorkload:
+    """A workload whose contention *moves* mid-run (watchdog fodder).
+
+    Threads 0-1 falsely share line A through the addm at shift.c:14
+    during phase 1, then shift to thread-private data — so a repair
+    attached for line A stops paying off.  Threads 2-3 warm up on
+    private data, then start falsely sharing line B through shift.c:54,
+    a PC no repair plan covers: the post-repair HITM rate rebounds and
+    the watchdog should detach.  With rollback disabled the early
+    threads drag their now-useless instrumentation through the whole
+    private phase, which is measurably slower end to end.
+    """
+    allocator = Allocator(base_offset=0)
+    line_a = allocator.malloc(64, align=64, label="phase1_line")
+    line_b = allocator.malloc(64, align=64, label="phase2_line")
+    private = allocator.malloc(4 * 128, align=64, label="private")
+    if n1 is None:
+        n1 = i1 * 12  # private iterations are far cheaper than contended
+    threads = [
+        _shift_early_thread(0, line_a, private, i1, i2),
+        _shift_early_thread(1, line_a, private, i1, i2),
+        _shift_late_thread(2, line_b, private, n1, n2),
+        _shift_late_thread(3, line_b, private, n1, n2),
+    ]
+    return BuiltWorkload(Program("shifted", threads), allocator)
 
 
