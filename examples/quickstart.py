@@ -35,8 +35,26 @@ def main():
         result.cycles, result.cycles / native.cycles, result.repaired))
     print("run health:        %s" % result.health.summary())
 
+    # Every rewrite LASERREPAIR attaches is first proved safe by the
+    # static TSO/SSB verifier; a rejection here would mean the rewriter
+    # produced code the checker could not verify (counted as degraded).
+    plan = result.repair_plan
+    if plan is not None and plan.verifier_results:
+        verdicts = ", ".join(
+            "thread %d: %s" % (tid, verdict.summary())
+            for tid, verdict in sorted(plan.verifier_results.items()))
+        print("rewrite verifier:  %s (%d plan(s) rejected)" % (
+            verdicts, laser.repairer.plans_verifier_rejected))
+
     print("\nLASERDETECT report:")
     print(result.report.render())
+
+    from repro.static.predict import predict_program
+    built = workload.build(heap_offset=laser.config.heap_shift,
+                           seed=laser.config.seed)
+    static_report = predict_program(built.program)
+    print("\nstatic prediction (no execution):")
+    print(static_report.render())
 
     fixed = workload.build_fixed()
     fixed_run = run_built_native(fixed)

@@ -35,7 +35,7 @@ memory-model violations.
 """
 
 import enum
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Set
 
 from repro.errors import SheriffCrash, SheriffIncompatible, SimulationError
 from repro.sim.machine import Machine

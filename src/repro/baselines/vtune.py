@@ -27,11 +27,9 @@ as in the paper, no threshold can save the dedup queue bug, whose
 measured rate sits below every other bug's.
 """
 
-from typing import List, Optional, Tuple
+from typing import List
 
-from repro._constants import CYCLES_PER_SECOND
 from repro.core.detect.linemap import LineAggregator
-from repro.core.config import LaserConfig
 from repro.isa.program import SourceLocation
 from repro.sim.machine import Machine
 

@@ -39,6 +39,7 @@ class LaserConfig:
         watchdog_rate_ratio: float = 0.5,
         watchdog_abort_rate: float = 4.0,
         htm_abort_fallback_threshold: int = HTM_ABORT_FALLBACK_THRESHOLD,
+        verify_repairs: bool = True,
     ):
         if sample_after_value < 1:
             raise ValueError("SAV must be >= 1")
@@ -99,6 +100,10 @@ class LaserConfig:
         #: Consecutive HTM aborts before an SSB abandons transactional
         #: flushes for per-store writeback (see ``repro.core.repair.ssb``).
         self.htm_abort_fallback_threshold = htm_abort_fallback_threshold
+        #: Gate every rewrite through the static TSO/SSB verifier
+        #: (``repro.static.verify``); a rewrite it cannot prove safe is
+        #: rejected and counted in ``RunHealth.repair_verifier_rejections``.
+        self.verify_repairs = verify_repairs
 
     def replace(self, **kwargs) -> "LaserConfig":
         """Return a copy with some fields overridden."""
@@ -120,6 +125,7 @@ class LaserConfig:
             watchdog_rate_ratio=self.watchdog_rate_ratio,
             watchdog_abort_rate=self.watchdog_abort_rate,
             htm_abort_fallback_threshold=self.htm_abort_fallback_threshold,
+            verify_repairs=self.verify_repairs,
         )
         fields.update(kwargs)
         return LaserConfig(**fields)

@@ -29,13 +29,20 @@ class SharingType(enum.Enum):
 
 
 class _LineInfo:
-    """Previous-access record for one cache line (Figure 5)."""
+    """Previous-access record for one cache line (Figure 5).
 
-    __slots__ = ("bitmap", "was_write")
+    ``ts_events``/``fs_events`` accumulate the line's own classification
+    history so reports (and the static-vs-dynamic comparison) can work
+    at cache-line granularity, not just per source line.
+    """
+
+    __slots__ = ("bitmap", "was_write", "ts_events", "fs_events")
 
     def __init__(self, bitmap: int, was_write: bool):
         self.bitmap = bitmap
         self.was_write = was_write
+        self.ts_events = 0
+        self.fs_events = 0
 
 
 def _access_bitmap(addr: int, size: int) -> Tuple[int, int, int]:
@@ -74,8 +81,10 @@ class CacheLineModel:
             return SharingType.NONE
         if overlap:
             self.ts_events += 1
+            info.ts_events += 1
             return SharingType.TRUE_SHARING
         self.fs_events += 1
+        info.fs_events += 1
         return SharingType.FALSE_SHARING
 
     def previous_access(self, addr: int) -> Optional[Tuple[int, bool]]:
@@ -88,3 +97,31 @@ class CacheLineModel:
     @property
     def tracked_lines(self) -> int:
         return len(self._lines)
+
+    def line_events(self, line: int) -> Tuple[int, int]:
+        """(ts_events, fs_events) observed on one cache line."""
+        info = self._lines.get(line)
+        if info is None:
+            return 0, 0
+        return info.ts_events, info.fs_events
+
+    def contended_lines(
+        self, kind: Optional[SharingType] = None, min_events: int = 1
+    ) -> Dict[int, Tuple[int, int]]:
+        """Cache lines with >= ``min_events`` sharing events observed.
+
+        Maps line index -> (ts_events, fs_events).  With ``kind`` set,
+        the threshold applies to that event class only — the ground
+        truth the static predictor is scored against.
+        """
+        out: Dict[int, Tuple[int, int]] = {}
+        for line, info in self._lines.items():
+            if kind is SharingType.TRUE_SHARING:
+                relevant = info.ts_events
+            elif kind is SharingType.FALSE_SHARING:
+                relevant = info.fs_events
+            else:
+                relevant = info.ts_events + info.fs_events
+            if relevant >= min_events:
+                out[line] = (info.ts_events, info.fs_events)
+        return out

@@ -11,7 +11,7 @@ be cut at any time with any rate threshold — thresholds are applied at
 report time, "offline, without rerunning the program."
 """
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List
 
 from repro._constants import DETECTOR_RECORD_COST
 from repro.core.detect.filters import RecordFilter

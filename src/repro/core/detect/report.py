@@ -11,7 +11,7 @@ without a conclusive signal (Table 2).
 """
 
 import enum
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.isa.program import SourceLocation
 
@@ -155,9 +155,9 @@ class ContentionReport:
         """Aggregate verdict over the hottest reported lines."""
         if not self.lines:
             return ContentionClass.UNKNOWN
-        ts = sum(l.ts_events for l in self.lines)
-        fs = sum(l.fs_events for l in self.lines)
-        records = sum(l.record_count for l in self.lines)
+        ts = sum(line.ts_events for line in self.lines)
+        fs = sum(line.fs_events for line in self.lines)
+        records = sum(line.record_count for line in self.lines)
         return classify_counts(ts, fs, records)
 
     def render(self) -> str:

@@ -59,6 +59,7 @@ class RunHealth:
         "detector_stalls",
         "detector_restarts",
         "repair_rejections",
+        "repair_verifier_rejections",
         "repair_errors",
         "rollbacks",
         "htm_aborts",
@@ -80,7 +81,10 @@ class RunHealth:
 
         A repair *rejection* is not degradation — declining an
         unprofitable repair is the healthy path (Section 5.4) — so
-        ``repair_rejections`` is reported but not counted here.
+        ``repair_rejections`` is reported but not counted here.  A
+        *verifier* rejection is different: the rewriter produced code
+        the static TSO/SSB checker could not prove safe, so
+        ``repair_verifier_rejections`` does count as degradation.
         """
         return any(
             getattr(self, field)
@@ -175,6 +179,7 @@ class Laser:
         self.repairer = LaserRepair(
             min_stores_per_flush=self.config.min_stores_per_flush,
             abort_fallback_threshold=self.config.htm_abort_fallback_threshold,
+            verify_rewrites=self.config.verify_repairs,
         )
 
     # ------------------------------------------------------------------
@@ -327,7 +332,10 @@ class Laser:
             elif plan is not None and plan.rejected_reason:
                 # Re-evaluate later instead of bailing out permanently:
                 # contention character shifts, and so does profitability.
-                health.repair_rejections += 1
+                if plan.verifier_rejected:
+                    health.repair_verifier_rejections += 1
+                else:
+                    health.repair_rejections += 1
                 backoff_remaining = next_backoff
                 next_backoff = min(next_backoff * 2, config.repair_backoff_max)
 

@@ -14,7 +14,7 @@ flushes the SSB, after which the plain load is safe — the thread-local
 recovery the paper describes.
 """
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, Set, Tuple
 
 from repro.isa.cfg import ControlFlowGraph
 from repro.isa.instructions import Opcode

@@ -12,7 +12,7 @@ Given the PCs involved in contention:
 5. estimate profitability (``cost.py``).
 """
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, Optional, Set
 
 from repro.core.repair.alias import speculative_alias_analysis
 from repro.core.repair.cost import estimate_stores_per_flush

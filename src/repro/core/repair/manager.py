@@ -15,6 +15,7 @@ from repro.core.repair.analysis import ThreadRepairAnalysis, analyze_thread
 from repro.core.repair.rewrite import rewrite_thread
 from repro.core.repair.ssb import SoftwareStoreBuffer
 from repro.isa.program import Program, ThreadCode
+from repro.static.verify import VerificationResult, verify_rewrite
 
 __all__ = ["RepairPlan", "LaserRepair"]
 
@@ -29,6 +30,14 @@ class RepairPlan:
         self.new_codes: Dict[int, ThreadCode] = {}
         self.index_maps: Dict[int, Dict[int, int]] = {}
         self.rejected_reason: Optional[str] = None
+        #: Per-thread rewrite-verifier outcomes (``static/verify.py``);
+        #: populated for every rewritten thread when verification is on.
+        self.verifier_results: Dict[int, VerificationResult] = {}
+        #: True when the plan was rejected *by the verifier* (as opposed
+        #: to the profitability gate) — surfaced separately in RunHealth
+        #: because a verifier rejection means the rewriter produced code
+        #: the static checker could not prove safe, which is degradation.
+        self.verifier_rejected: bool = False
         #: SSBs removed by :meth:`LaserRepair.detach` (stats survive the
         #: rollback for end-of-run health accounting).
         self.detached_buffers: List[SoftwareStoreBuffer] = []
@@ -54,12 +63,17 @@ class LaserRepair:
     """Builds, applies and rolls back repair plans."""
 
     def __init__(self, min_stores_per_flush: float = 4.0,
-                 abort_fallback_threshold: int = HTM_ABORT_FALLBACK_THRESHOLD):
+                 abort_fallback_threshold: int = HTM_ABORT_FALLBACK_THRESHOLD,
+                 verify_rewrites: bool = True):
         self.min_stores_per_flush = min_stores_per_flush
         self.abort_fallback_threshold = abort_fallback_threshold
+        #: Gate every rewrite through the static verifier
+        #: (``repro.static.verify``) before it may be attached.
+        self.verify_rewrites = verify_rewrites
         self.plans_built = 0
         self.plans_applied = 0
         self.plans_rejected = 0
+        self.plans_verifier_rejected = 0
         self.plans_detached = 0
 
     # ------------------------------------------------------------------
@@ -85,6 +99,21 @@ class LaserRepair:
                 self.plans_rejected += 1
                 return plan
             new_code, index_map = rewrite_thread(code, analysis)
+            if self.verify_rewrites:
+                verdict = verify_rewrite(code, analysis, new_code,
+                                         index_map, thread=tid)
+                plan.verifier_results[tid] = verdict
+                if not verdict.ok:
+                    plan.rejected_reason = (
+                        "thread %d: rewrite verification failed: %s"
+                        % (tid, verdict.summary())
+                    )
+                    plan.verifier_rejected = True
+                    plan.new_codes.clear()
+                    plan.index_maps.clear()
+                    self.plans_rejected += 1
+                    self.plans_verifier_rejected += 1
+                    return plan
             plan.new_codes[tid] = new_code
             plan.index_maps[tid] = index_map
         if not plan.new_codes:

@@ -8,7 +8,7 @@ instruction indices to new ones so that running threads can be attached
 mid-execution (``Core.replace_code``).
 """
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.repair.analysis import ThreadRepairAnalysis
 from repro.isa.instructions import Instruction, Opcode

@@ -13,7 +13,7 @@ CPU time as a fraction of application CPU time — both are tiny, showing
 the overhead is interference, not LASER computation.
 """
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.baselines.vtune import VTuneProfiler
 from repro.core.config import LaserConfig

@@ -11,7 +11,6 @@ from typing import List, Optional, Tuple
 
 from repro.core.config import LaserConfig
 from repro.experiments.runner import (
-    DEFAULT_RUNS,
     run_laser_on,
     run_native,
     trimmed_mean,

@@ -16,7 +16,7 @@ The paper's shapes this experiment reproduces:
 * LASER is uniformly low-overhead.
 """
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.baselines.sheriff import SheriffMode, run_sheriff
 from repro.core.config import LaserConfig
@@ -28,7 +28,6 @@ from repro.experiments.runner import (
 )
 from repro.experiments.tables import render_table
 from repro.workloads.base import SheriffSupport
-from repro.workloads.registry import all_workloads
 
 __all__ = ["SheriffComparisonRow", "SheriffComparisonResult",
            "run_sheriff_comparison", "FIGURE14_BENCHMARKS"]

@@ -1,0 +1,162 @@
+"""Static predictor vs. dynamic detector: cache-line recall/precision.
+
+The static sharing predictor (``repro.static.predict``) claims to flag
+every cache line the dynamic detector can observe contention on — it
+over-approximates (no notion of rate), so the interesting scores are:
+
+* **recall** — of the cache lines the *dynamic* run classified as
+  false sharing (byte-accurate line model, ``CacheLineModel``), what
+  fraction did the predictor flag?  The acceptance bar is 1.0 on the
+  clean false-sharing workloads: a static miss would mean the abstract
+  interpreter lost a footprint it needed.
+* **precision** — of the lines the predictor flagged, what fraction
+  did the dynamic run confirm?  Expected to be low (cold sharing and
+  one-time handoffs are flagged too); reported to quantify the
+  asymmetry, not as a bar.
+
+Both sides see the *same* built program: the workload is built once
+with the detector's heap shift and the dynamic run monitors that exact
+build (repair disabled so the access stream is not rewritten mid-run).
+"""
+
+from typing import List, Optional, Set
+
+from repro.core.config import LaserConfig
+from repro.core.detect.linemodel import SharingType
+from repro.core.laser import Laser
+from repro.experiments.tables import render_table
+from repro.static.predict import StaticSharingReport, predict_program
+from repro.workloads.base import Workload
+from repro.workloads.registry import all_workloads
+
+__all__ = ["StaticCmpRow", "StaticCmpResult", "run_static_cmp"]
+
+
+class StaticCmpRow:
+    """One workload's static-vs-dynamic comparison."""
+
+    def __init__(self, name: str, dynamic_fs: Set[int], dynamic_ts: Set[int],
+                 static_flagged: Set[int], static_report: StaticSharingReport):
+        self.name = name
+        #: Cache lines the dynamic run observed FS (resp. TS) events on.
+        self.dynamic_fs = dynamic_fs
+        self.dynamic_ts = dynamic_ts
+        #: Every cache line the predictor flagged (any sharing class).
+        self.static_flagged = static_flagged
+        self.static_report = static_report
+
+    @property
+    def dynamic_contended(self) -> Set[int]:
+        return self.dynamic_fs | self.dynamic_ts
+
+    @property
+    def missed_fs_lines(self) -> Set[int]:
+        """Dynamically-confirmed FS lines the predictor did not flag."""
+        return self.dynamic_fs - self.static_flagged
+
+    @property
+    def fs_recall(self) -> Optional[float]:
+        """Fraction of dynamic FS cache lines the predictor flagged."""
+        if not self.dynamic_fs:
+            return None
+        hit = len(self.dynamic_fs & self.static_flagged)
+        return hit / len(self.dynamic_fs)
+
+    @property
+    def recall(self) -> Optional[float]:
+        """Fraction of all dynamically contended lines flagged."""
+        contended = self.dynamic_contended
+        if not contended:
+            return None
+        return len(contended & self.static_flagged) / len(contended)
+
+    @property
+    def precision(self) -> Optional[float]:
+        """Fraction of flagged lines the dynamic run confirmed."""
+        if not self.static_flagged:
+            return None
+        hit = len(self.static_flagged & self.dynamic_contended)
+        return hit / len(self.static_flagged)
+
+    @staticmethod
+    def _pct(value: Optional[float]) -> str:
+        return "-" if value is None else "%.2f" % value
+
+    def cells(self) -> List[str]:
+        return [
+            self.name,
+            str(len(self.dynamic_fs)),
+            str(len(self.dynamic_ts)),
+            str(len(self.static_flagged)),
+            self._pct(self.fs_recall),
+            self._pct(self.recall),
+            self._pct(self.precision),
+            str(len(self.static_report.clipped)),
+        ]
+
+
+class StaticCmpResult:
+    """All rows of the static-vs-dynamic comparison."""
+
+    def __init__(self, rows: List[StaticCmpRow]):
+        self.rows = rows
+
+    def row_for(self, name: str) -> Optional[StaticCmpRow]:
+        for row in self.rows:
+            if row.name == name:
+                return row
+        return None
+
+    @property
+    def fs_recall_floor(self) -> Optional[float]:
+        """Worst FS recall over rows where the dynamic run saw FS."""
+        scores = [r.fs_recall for r in self.rows if r.fs_recall is not None]
+        return min(scores) if scores else None
+
+    def render(self) -> str:
+        headers = ["benchmark", "dyn FS", "dyn TS", "static", "FS recall",
+                   "recall", "precision", "clipped"]
+        body = [row.cells() for row in self.rows]
+        table = render_table(
+            headers, body,
+            title="Static predictor vs. dynamic detector (cache lines)")
+        floor = self.fs_recall_floor
+        if floor is not None:
+            table += "\nFS recall floor: %.2f" % floor
+        return table
+
+
+def run_static_cmp(workloads: Optional[List[Workload]] = None, seed: int = 0,
+                   scale: float = 1.0,
+                   config: Optional[LaserConfig] = None,
+                   min_events: int = 1) -> StaticCmpResult:
+    """Score the static predictor against dynamic ground truth.
+
+    ``min_events`` is the dynamic evidence threshold: a cache line needs
+    at least that many classified sharing events of a class to count as
+    ground truth for it.
+    """
+    base = config or LaserConfig()
+    # Repair off: a rewrite mid-run redirects stores through the SSB and
+    # changes which lines the model observes, which would make the
+    # ground truth depend on repair timing.
+    cfg = base.replace(seed=seed, repair_enabled=False)
+    rows = []
+    for workload in workloads if workloads is not None else all_workloads():
+        built = workload.build(heap_offset=cfg.heap_shift, seed=cfg.seed,
+                               scale=scale)
+        result = Laser(cfg).run_built(built)
+        model = result.pipeline.line_model
+        dynamic_fs = set(model.contended_lines(
+            SharingType.FALSE_SHARING, min_events=min_events))
+        dynamic_ts = set(model.contended_lines(
+            SharingType.TRUE_SHARING, min_events=min_events))
+        static_report = predict_program(built.program)
+        rows.append(StaticCmpRow(
+            workload.name, dynamic_fs, dynamic_ts,
+            static_report.flagged_cache_lines(), static_report))
+    return StaticCmpResult(rows)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_static_cmp().render())

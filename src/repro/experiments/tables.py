@@ -35,7 +35,7 @@ def render_bars(labels: Sequence[str], values: Sequence[float],
     if len(labels) != len(values):
         raise ValueError("labels/values length mismatch")
     peak = max(values) if values else 1.0
-    label_width = max((len(l) for l in labels), default=0)
+    label_width = max((len(label) for label in labels), default=0)
     lines = []
     if title:
         lines.append(title)

@@ -31,7 +31,7 @@ rejected):
     Repair analysis raises ``RepairError`` at the evaluation point.
 """
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.errors import FaultInjectionError
 

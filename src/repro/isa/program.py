@@ -8,7 +8,7 @@ analog of DWARF line tables that LASERDETECT uses to aggregate HITM
 records per source line, Section 4.2).
 """
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional
 
 from repro.errors import AssemblyError
 from repro.isa.instructions import Instruction

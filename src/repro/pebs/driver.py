@@ -18,7 +18,7 @@ them in ``records_dropped`` — the detector observes the loss through
 the count, never through a crash.
 """
 
-from typing import List, Optional
+from typing import List
 
 from repro._constants import (
     DRIVER_INTERRUPT_COST,

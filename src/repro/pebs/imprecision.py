@@ -22,7 +22,7 @@ Figure 3 shows, while remaining exactly reproducible.
 """
 
 import random
-from typing import List, Tuple
+from typing import Tuple
 
 from repro.isa.program import PC_STRIDE
 from repro.rng import derive_seed

@@ -12,7 +12,7 @@ Records pass through the imprecision model before landing in the
 driver's per-core buffers.
 """
 
-from typing import List, Optional
+from typing import List
 
 from repro._constants import NUM_CORES, PEBS_RECORD_COST
 from repro.pebs.events import PebsRecord

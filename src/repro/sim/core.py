@@ -13,7 +13,7 @@ Register conventions used by the workloads:
 """
 
 import enum
-from typing import List, Optional
+from typing import List
 
 from repro.errors import SimulationError
 from repro.isa.instructions import NUM_REGISTERS, Instruction, Opcode

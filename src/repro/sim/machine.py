@@ -12,7 +12,7 @@ overhead becomes visible in simulated runtime.
 """
 
 import heapq
-from typing import Callable, Dict, List, Optional
+from typing import Callable, List, Optional
 
 from repro._constants import NUM_CORES
 from repro.errors import SimulationError
@@ -24,7 +24,7 @@ from repro.sim.core import Core, CoreState
 from repro.sim.htm import HardwareTransactionalMemory
 from repro.sim.memory import Memory
 from repro.sim.timing import LatencyModel
-from repro.sim.vmmap import STACK_SIZE, STACK_TOP, VirtualMemoryMap, default_memory_map
+from repro.sim.vmmap import STACK_SIZE, STACK_TOP, default_memory_map
 
 __all__ = ["Machine", "RunResult"]
 

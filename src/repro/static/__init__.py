@@ -1,0 +1,63 @@
+"""Static analysis over mini-ISA programs.
+
+Three layers, each usable on its own:
+
+* :mod:`repro.static.interval` / :mod:`repro.static.absint` — a
+  stride-interval abstract interpreter computing per-instruction memory
+  footprints (with counted-loop trip-count induction, so pointer-bump
+  loops stay bounded);
+* :mod:`repro.static.lockset` — must-held lockset analysis over the
+  ISA's cmpxchg lock idioms;
+* :mod:`repro.static.predict` — whole-program sharing prediction:
+  footprints projected onto 64-byte cache lines, classified TS/FS, in
+  the same report shape the dynamic detector emits;
+* :mod:`repro.static.verify` — the TSO/SSB rewrite verifier gating
+  LASERREPAIR's instrumented code (see ``core/repair/manager.py``).
+
+``python -m repro.static <workload>`` prints the prediction for a
+bundled workload.
+"""
+
+from repro.static.absint import (
+    Footprint,
+    ThreadValueAnalysis,
+    analyze_thread_values,
+    thread_entry_registers,
+)
+from repro.static.interval import StrideInterval
+from repro.static.lockset import (
+    ThreadLocksets,
+    analyze_locksets,
+    collect_lock_addresses,
+)
+from repro.static.predict import (
+    LinePrediction,
+    StaticAccess,
+    StaticLineReport,
+    StaticSharingReport,
+    predict_program,
+)
+from repro.static.verify import (
+    VerificationResult,
+    Violation,
+    verify_rewrite,
+)
+
+__all__ = [
+    "StrideInterval",
+    "Footprint",
+    "ThreadValueAnalysis",
+    "analyze_thread_values",
+    "thread_entry_registers",
+    "ThreadLocksets",
+    "analyze_locksets",
+    "collect_lock_addresses",
+    "StaticAccess",
+    "LinePrediction",
+    "StaticLineReport",
+    "StaticSharingReport",
+    "predict_program",
+    "Violation",
+    "VerificationResult",
+    "verify_rewrite",
+]

@@ -1,0 +1,40 @@
+"""CLI: static sharing prediction for a bundled workload.
+
+Usage::
+
+    python -m repro.static linear_regression [more workloads...]
+    python -m repro.static --all
+
+Builds each workload exactly as a LASER run would (the detector's fork
+shifts the heap base by ``LaserConfig.heap_shift``) so predicted cache
+lines are directly comparable to a dynamic report's.
+"""
+
+import sys
+
+from repro.core.config import LaserConfig
+from repro.static.predict import predict_program
+from repro.workloads import all_workloads, get_workload
+
+
+def main(argv) -> int:
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0 if argv else 1
+    config = LaserConfig()
+    names = (
+        [w.name for w in all_workloads()] if argv == ["--all"] else argv
+    )
+    for name in names:
+        workload = get_workload(name)
+        built = workload.build(heap_offset=config.heap_shift,
+                               seed=config.seed)
+        report = predict_program(built.program)
+        print("== %s" % name)
+        print(report.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

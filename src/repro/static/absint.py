@@ -1,0 +1,526 @@
+"""Abstract interpretation of one thread's code over its CFG.
+
+The interpreter runs each :class:`ThreadCode` to a fixpoint over the
+stride-interval domain (``interval.py``), producing:
+
+* a register state at every basic-block entry and every instruction,
+* a :class:`Footprint` (address interval + access width) for every
+  memory operation.
+
+Plain interval analysis widens every loop-carried pointer to ``+inf``,
+which would reduce the sharing predictor to "everything may touch
+everything".  Mini-ISA loops are overwhelmingly *counted* — a register
+initialized outside the loop, bumped by a constant each iteration, and
+tested against zero or a bound — so the interpreter recognizes the two
+idioms (countdown ``sub/bne`` and countup ``add/blt``, in both
+test-at-latch and test-at-header shapes), derives a trip count, and
+pins every self-bumped register at the loop header to the closed-form
+hull ``[init, init + delta * trips]``.  Registers that escape the
+idiom fall back to classic widening, so the fixpoint always
+terminates; their footprints simply come out unbounded and are clipped
+(with accounting) by the consumer.
+
+The interpreter understands the SSB pseudo-ops, so it can run on both
+original and LASERREPAIR-instrumented code — the rewrite verifier uses
+it to prove exempt loads disjoint from buffered stores.
+"""
+
+from collections import deque
+from math import gcd
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.isa.cfg import ControlFlowGraph, build_cfg
+from repro.isa.instructions import (
+    COND_BRANCH_OPS,
+    NUM_REGISTERS,
+    Instruction,
+    Opcode,
+    Operand,
+)
+from repro.isa.program import ThreadCode
+from repro.static.interval import StrideInterval
+
+__all__ = [
+    "Footprint",
+    "ThreadValueAnalysis",
+    "analyze_thread_values",
+    "thread_entry_registers",
+]
+
+#: Header visits before classic widening kicks in for non-induction
+#: registers (counted loops converge in 2-3 visits; this is a backstop).
+WIDEN_AFTER_VISITS = 24
+
+State = List[StrideInterval]
+
+_ALU = {
+    Opcode.ADD: StrideInterval.add,
+    Opcode.SUB: StrideInterval.sub,
+    Opcode.MUL: StrideInterval.mul,
+    Opcode.DIV: StrideInterval.div,
+    Opcode.AND: StrideInterval.and_,
+    Opcode.OR: StrideInterval.or_,
+    Opcode.XOR: StrideInterval.xor,
+    Opcode.SHL: StrideInterval.shl,
+    Opcode.SHR: StrideInterval.shr,
+}
+
+#: Opcodes whose execution writes ``rd`` with a memory-derived value.
+_MEM_DEST_OPS = frozenset(
+    {Opcode.LOAD, Opcode.SSB_LOAD, Opcode.CMPXCHG, Opcode.XADD}
+)
+
+#: Memory operations that produce a footprint.
+_FOOTPRINT_OPS = frozenset(
+    {Opcode.LOAD, Opcode.STORE, Opcode.ADDM, Opcode.CMPXCHG, Opcode.XADD,
+     Opcode.SSB_LOAD, Opcode.SSB_STORE, Opcode.SSB_ADDM}
+)
+
+
+class Footprint:
+    """The memory bytes one instruction may touch."""
+
+    __slots__ = ("index", "inst", "addr", "size")
+
+    def __init__(self, index: int, inst: Instruction,
+                 addr: StrideInterval, size: int):
+        self.index = index
+        self.inst = inst
+        self.addr = addr
+        self.size = size
+
+    @property
+    def is_load(self) -> bool:
+        return self.inst.is_load
+
+    @property
+    def is_store(self) -> bool:
+        return self.inst.is_store
+
+    @property
+    def bounded(self) -> bool:
+        return self.addr.is_bounded
+
+    def may_overlap(self, other: "Footprint") -> bool:
+        return self.addr.may_overlap(self.size, other.addr, other.size)
+
+    def __repr__(self):
+        return "<Footprint #%d %s addr=%r sz=%d>" % (
+            self.index, self.inst.op.value, self.addr, self.size)
+
+
+class _Loop:
+    """A natural loop: header, body, and its counted-loop evidence."""
+
+    __slots__ = ("header", "body", "bumps", "nested_bump_regs")
+
+    def __init__(self, header: int):
+        self.header = header
+        self.body: Set[int] = {header}
+        #: reg -> list of per-iteration constant deltas (self-bumps).
+        self.bumps: Dict[int, List[int]] = {}
+        #: Regs whose bump sits inside a nested loop (delta per outer
+        #: iteration is the inner trip count times the delta — unknown
+        #: here, so growth in that direction is unbounded).
+        self.nested_bump_regs: Set[int] = set()
+
+
+def thread_entry_registers(tid: int) -> Dict[int, StrideInterval]:
+    """The register file :class:`repro.sim.machine.Machine` gives thread
+    ``tid`` at startup: zeros, plus r14 = thread id and r15 = stack
+    pointer.  Analyses that know which thread will run the code pass
+    this as ``entry_registers`` for exact thread-private addressing.
+    """
+    from repro.sim.vmmap import STACK_SIZE, STACK_TOP
+
+    return {
+        14: StrideInterval.const(tid),
+        15: StrideInterval.const(STACK_TOP - tid * 2 * STACK_SIZE - 4096),
+    }
+
+
+def _eval(operand: Optional[Operand], state: State) -> StrideInterval:
+    if operand is None:
+        return StrideInterval.top()
+    if operand.is_reg:
+        return state[operand.value]
+    return StrideInterval.const(operand.value)
+
+
+def _value_of_width(size: int) -> StrideInterval:
+    """Anything loaded from memory: bounded only by the access width."""
+    return StrideInterval(0, (1 << (8 * size)) - 1, 1)
+
+
+def _transfer(inst: Instruction, state: State) -> None:
+    """Apply one instruction to ``state`` in place (no footprints)."""
+    op = inst.op
+    alu = _ALU.get(op)
+    if alu is not None:
+        state[inst.rd] = alu(_eval(inst.a, state), _eval(inst.b, state))
+    elif op is Opcode.MOV:
+        state[inst.rd] = _eval(inst.a, state)
+    elif op in _MEM_DEST_OPS:
+        state[inst.rd] = _value_of_width(inst.size)
+    elif inst.rd is not None:
+        state[inst.rd] = StrideInterval.top()
+
+
+def _footprint_of(index: int, inst: Instruction,
+                  state: State) -> Optional[Footprint]:
+    if inst.op not in _FOOTPRINT_OPS:
+        return None
+    addr = _eval(inst.a, state).add(StrideInterval.const(inst.offset))
+    return Footprint(index, inst, addr, inst.size)
+
+
+# ----------------------------------------------------------------------
+# Branch refinement
+# ----------------------------------------------------------------------
+
+def _refine_reg(state: State, reg: int,
+                refined: Optional[StrideInterval]) -> Optional[State]:
+    if refined is None:
+        return None
+    new = list(state)
+    new[reg] = refined
+    return new
+
+
+def _exclude_const(interval: StrideInterval, c: int) -> Optional[StrideInterval]:
+    """Refine ``interval`` knowing its value is not ``c`` (endpoint trim)."""
+    step = interval.stride or 1
+    lo, hi = interval.lo, interval.hi
+    if lo is not None and lo == c:
+        lo = lo + step
+        if hi is not None and lo > hi:
+            return None
+    elif hi is not None and hi == c:
+        hi = hi - step
+        if lo is not None and lo > hi:
+            return None
+    return StrideInterval(lo, hi, interval.stride if lo is not None else 1)
+
+
+def _refine_branch(state: State, inst: Instruction,
+                   taken: bool) -> Optional[State]:
+    """Narrow ``state`` along one edge of a conditional branch.
+
+    Returns None when the edge is infeasible under the abstract state.
+    """
+    if inst.op not in COND_BRANCH_OPS:
+        return state
+    a, b = inst.a, inst.b
+    a_val, b_val = _eval(a, state), _eval(b, state)
+    # Refine whichever side is a register against the other side's
+    # constant value (if any); refining both is possible but the
+    # workloads only ever compare a register against a constant.
+    if a is not None and a.is_reg and b_val.is_const:
+        reg, interval, c = a.value, a_val, b_val.lo
+        relation = {"lt_c": True}
+    elif b is not None and b.is_reg and a_val.is_const:
+        # c OP b: mirror the relation around the constant.
+        reg, interval, c = b.value, b_val, a_val.lo
+        relation = {"lt_c": False}
+    else:
+        return state
+
+    op = inst.op
+    if (op is Opcode.BEQ) == taken and op in (Opcode.BEQ, Opcode.BNE):
+        # Equality holds on this edge.
+        return _refine_reg(state, reg, interval.meet_range(c, c))
+    if op in (Opcode.BEQ, Opcode.BNE):
+        return _refine_reg(state, reg, _exclude_const(interval, c))
+    # BLT / BGE: "a < b" truth on this edge.
+    lt = (op is Opcode.BLT) == taken
+    if not relation["lt_c"]:
+        # Condition is ``c < reg`` (or its negation).
+        if lt:
+            return _refine_reg(state, reg, interval.meet_range(c + 1, None))
+        return _refine_reg(state, reg, interval.meet_range(None, c))
+    if lt:
+        return _refine_reg(state, reg, interval.meet_range(None, c - 1))
+    return _refine_reg(state, reg, interval.meet_range(c, None))
+
+
+# ----------------------------------------------------------------------
+# Loop discovery and trip counts
+# ----------------------------------------------------------------------
+
+def _find_loops(cfg: ControlFlowGraph) -> Dict[int, _Loop]:
+    loops: Dict[int, _Loop] = {}
+    for block in cfg.blocks:
+        for succ in block.successors:
+            if succ not in cfg.dominators(block.index):
+                continue
+            loop = loops.setdefault(succ, _Loop(succ))
+            # Natural loop of the back edge: walk predecessors from the
+            # latch until the header closes the walk.
+            work = [block.index]
+            while work:
+                node = work.pop()
+                if node in loop.body:
+                    continue
+                loop.body.add(node)
+                work.extend(cfg.blocks[node].predecessors)
+    for loop in loops.values():
+        _collect_bumps(cfg, loop, loops)
+    return loops
+
+
+def _collect_bumps(cfg: ControlFlowGraph, loop: _Loop,
+                   loops: Dict[int, _Loop]) -> None:
+    """Find registers whose only writes inside the loop are self-bumps."""
+    instructions = cfg.code.instructions
+    written: Dict[int, List[Tuple[int, Optional[int]]]] = {}
+    for block_index in loop.body:
+        nested = any(
+            other.header != loop.header and block_index in other.body
+            and other.header in loop.body
+            for other in loops.values()
+        )
+        for i in cfg.blocks[block_index].instruction_indices():
+            inst = instructions[i]
+            if inst.rd is None or inst.op in COND_BRANCH_OPS:
+                continue
+            delta = None
+            if (inst.op in (Opcode.ADD, Opcode.SUB)
+                    and inst.a is not None and inst.a.is_reg
+                    and inst.a.value == inst.rd
+                    and inst.b is not None and not inst.b.is_reg):
+                delta = inst.b.value if inst.op is Opcode.ADD else -inst.b.value
+            written.setdefault(inst.rd, []).append((i, delta))
+            if delta is not None and nested:
+                loop.nested_bump_regs.add(inst.rd)
+    for reg, writes in written.items():
+        deltas = [d for _, d in writes]
+        if all(d is not None for d in deltas):
+            loop.bumps[reg] = deltas  # type: ignore[assignment]
+
+
+def _const_of(operand: Optional[Operand], entry: State) -> Optional[int]:
+    if operand is None:
+        return None
+    value = _eval(operand, entry)
+    return value.lo if value.is_const else None
+
+
+def _trip_count(cfg: ControlFlowGraph, loop: _Loop,
+                entry: State) -> Tuple[Optional[int], Optional[int]]:
+    """(max trip count, counter register) for a counted loop, else None.
+
+    Recognizes four shapes: the continue test at the latch (``bne c,0``
+    countdown / ``blt c,B`` countup) and the exit test at the header
+    (``beq c,0`` / ``bge c,B``).
+    """
+    instructions = cfg.code.instructions
+    candidates: List[Tuple[Instruction, bool]] = []  # (branch, exits_on_true)
+    header_start = cfg.blocks[loop.header].start
+    for block_index in loop.body:
+        block = cfg.blocks[block_index]
+        last = instructions[block.end - 1]
+        if last.op not in COND_BRANCH_OPS:
+            continue
+        if last.target == header_start:
+            candidates.append((last, False))  # taken edge continues
+        else:
+            target_block = cfg.block_of_instruction(last.target).index
+            if target_block not in loop.body:
+                candidates.append((last, True))  # taken edge exits
+
+    for branch, exits_on_true in candidates:
+        if branch.a is None or not branch.a.is_reg:
+            continue
+        counter = branch.a.value
+        deltas = loop.bumps.get(counter)
+        if deltas is None or len(deltas) != 1 or counter in loop.nested_bump_regs:
+            continue
+        delta = deltas[0]
+        init = entry[counter]
+        bound = _const_of(branch.b, entry)
+        if bound is not None and branch.b is not None and branch.b.is_reg:
+            # A register bound must be loop-invariant.
+            if branch.b.value in loop.bumps or any(
+                branch.b.value == instructions[i].rd
+                for bi in loop.body
+                for i in cfg.blocks[bi].instruction_indices()
+            ):
+                bound = None
+        countdown = (branch.op is (Opcode.BNE if not exits_on_true else Opcode.BEQ))
+        countup = (branch.op is (Opcode.BLT if not exits_on_true else Opcode.BGE))
+        if countdown and bound == 0 and delta < 0:
+            if init.hi is None:
+                return None, counter
+            return max(0, -(-init.hi // -delta)), counter
+        if countup and bound is not None and delta > 0:
+            if init.lo is None:
+                return None, counter
+            return max(0, -((init.lo - bound) // delta)), counter
+    return None, None
+
+
+def _induction_hull(init: StrideInterval, deltas: List[int],
+                    trips: Optional[int]) -> StrideInterval:
+    pos = sum(d for d in deltas if d > 0)
+    neg = sum(d for d in deltas if d < 0)
+    if trips is None:
+        lo = init.lo if neg == 0 else None
+        hi = init.hi if pos == 0 else None
+    else:
+        lo = None if init.lo is None else init.lo + neg * trips
+        hi = None if init.hi is None else init.hi + pos * trips
+    if len(deltas) == 1 and lo is not None:
+        stride = gcd(abs(deltas[0]), init.stride)
+    else:
+        stride = 1
+    return StrideInterval(lo, hi, stride or 1)
+
+
+# ----------------------------------------------------------------------
+# The fixpoint engine
+# ----------------------------------------------------------------------
+
+def _join_states(states: List[Optional[State]]) -> Optional[State]:
+    live = [s for s in states if s is not None]
+    if not live:
+        return None
+    joined = list(live[0])
+    for state in live[1:]:
+        for r in range(NUM_REGISTERS):
+            joined[r] = joined[r].join(state[r])
+    return joined
+
+
+def _states_equal(a: Optional[State], b: Optional[State]) -> bool:
+    if a is None or b is None:
+        return a is b
+    return all(x == y for x, y in zip(a, b))
+
+
+class ThreadValueAnalysis:
+    """Fixpoint result for one thread."""
+
+    def __init__(self, cfg: ControlFlowGraph,
+                 block_in: Dict[int, Optional[State]],
+                 states_before: Dict[int, State],
+                 footprints: List[Footprint]):
+        self.cfg = cfg
+        #: Register state at each basic-block entry (None = unreachable).
+        self.block_in = block_in
+        #: Register state immediately before each reachable instruction.
+        self.states_before = states_before
+        #: One footprint per reachable memory operation.
+        self.footprints = footprints
+
+    def footprint_for(self, index: int) -> Optional[Footprint]:
+        for fp in self.footprints:
+            if fp.index == index:
+                return fp
+        return None
+
+    @property
+    def unbounded_footprints(self) -> List[Footprint]:
+        return [fp for fp in self.footprints if not fp.bounded]
+
+
+def analyze_thread_values(
+    code: ThreadCode,
+    entry_registers: Optional[Dict[int, StrideInterval]] = None,
+    cfg: Optional[ControlFlowGraph] = None,
+) -> ThreadValueAnalysis:
+    """Run the abstract interpreter on one thread to a fixpoint."""
+    if cfg is None:
+        cfg = build_cfg(code)
+    instructions = code.instructions
+    loops = _find_loops(cfg)
+
+    entry: State = [StrideInterval.const(0)] * NUM_REGISTERS
+    for reg_index, value in (entry_registers or {}).items():
+        entry[reg_index] = value
+
+    block_in: Dict[int, Optional[State]] = {
+        b.index: None for b in cfg.blocks
+    }
+    edge_out: Dict[Tuple[int, int], Optional[State]] = {}
+    visits: Dict[int, int] = {b.index: 0 for b in cfg.blocks}
+
+    def block_out_edges(block_index: int, state: State) -> None:
+        """Run the block body, then split the state per successor edge."""
+        block = cfg.blocks[block_index]
+        working = list(state)
+        for i in block.instruction_indices():
+            _transfer(instructions[i], working)
+        last = instructions[block.end - 1]
+        for succ in block.successors:
+            taken = last.is_branch and last.target == cfg.blocks[succ].start
+            refined = _refine_branch(working, last, taken)
+            edge_out[(block_index, succ)] = (
+                None if refined is None else list(refined)
+            )
+
+    def compute_in(block_index: int) -> Optional[State]:
+        preds = cfg.blocks[block_index].predecessors
+        incoming: List[Optional[State]] = [
+            edge_out.get((p, block_index)) for p in preds
+        ]
+        if block_index == 0:
+            incoming.append(list(entry))
+        joined = _join_states(incoming)
+        loop = loops.get(block_index)
+        if loop is None or joined is None:
+            return joined
+        outside: List[Optional[State]] = [
+            edge_out.get((p, block_index))
+            for p in preds if p not in loop.body
+        ]
+        if block_index == 0:
+            outside.append(list(entry))
+        outside_join = _join_states(outside)
+        if outside_join is None:
+            return joined
+        trips, _counter = _trip_count(cfg, loop, outside_join)
+        for reg_index, deltas in loop.bumps.items():
+            if reg_index in loop.nested_bump_regs:
+                joined[reg_index] = _induction_hull(
+                    outside_join[reg_index], deltas, None)
+            else:
+                joined[reg_index] = _induction_hull(
+                    outside_join[reg_index], deltas, trips)
+        return joined
+
+    work = deque([0])
+    in_work = {0}
+    while work:
+        block_index = work.popleft()
+        in_work.discard(block_index)
+        new_in = compute_in(block_index)
+        if new_in is None:
+            continue
+        visits[block_index] += 1
+        old_in = block_in[block_index]
+        if visits[block_index] > WIDEN_AFTER_VISITS and old_in is not None:
+            new_in = [o.widen(n) for o, n in zip(old_in, new_in)]
+        if _states_equal(old_in, new_in) and visits[block_index] > 1:
+            continue
+        block_in[block_index] = new_in
+        block_out_edges(block_index, new_in)
+        for succ in cfg.blocks[block_index].successors:
+            if succ not in in_work:
+                in_work.add(succ)
+                work.append(succ)
+
+    # Final pass: per-instruction states and footprints.
+    states_before: Dict[int, State] = {}
+    footprints: List[Footprint] = []
+    for block in cfg.blocks:
+        state = block_in[block.index]
+        if state is None:
+            continue
+        working = list(state)
+        for i in block.instruction_indices():
+            states_before[i] = list(working)
+            fp = _footprint_of(i, instructions[i], working)
+            if fp is not None:
+                footprints.append(fp)
+            _transfer(instructions[i], working)
+    return ThreadValueAnalysis(cfg, block_in, states_before, footprints)

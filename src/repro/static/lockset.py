@@ -1,0 +1,151 @@
+"""Must-held lockset analysis over the mini-ISA's lock idioms.
+
+The ISA has no lock instruction; workloads build spin locks out of
+``CMPXCHG`` (``sim/locks.py``).  The analysis recognizes the acquire
+idiom structurally:
+
+* an acquire candidate is ``CMPXCHG rd, [A], expected=0, desired!=0``
+  whose address resolves to a constant ``A`` under the value analysis;
+* the acquisition *succeeds* only on the taken edge of a following
+  ``BEQ rd, 0`` in the same block (the spin-loop success test), with no
+  intervening write to ``rd``;
+* a release is any store that may write the lock word (``sim/locks.py``
+  releases with a plain store of 0, and any unrecognized write to the
+  word conservatively kills the held state).
+
+Lock state flows forward along CFG edges; the meet at a join is set
+*intersection* (a lock is held only if held on every incoming path),
+which makes this a must-analysis: reporting a lock held when it is not
+would wrongly suppress a sharing prediction, while the converse merely
+loses precision.  Unreachable blocks start at the full universe so
+they never erode the meet.
+"""
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.static.absint import ThreadValueAnalysis, _eval
+from repro.static.interval import StrideInterval
+
+__all__ = ["ThreadLocksets", "collect_lock_addresses", "analyze_locksets"]
+
+LockSet = FrozenSet[int]
+
+
+def _const_address(inst: Instruction, state) -> Optional[int]:
+    """The exact address of a memory op, when the value analysis has it."""
+    addr = _eval(inst.a, state)
+    if not addr.is_const:
+        return None
+    return addr.lo + inst.offset
+
+
+def collect_lock_addresses(values: ThreadValueAnalysis) -> Set[int]:
+    """Constant addresses this thread uses in the cmpxchg-acquire idiom."""
+    locks: Set[int] = set()
+    instructions = values.cfg.code.instructions
+    for i, state in values.states_before.items():
+        inst = instructions[i]
+        if inst.op is not Opcode.CMPXCHG:
+            continue
+        expected = _eval(inst.b, state)
+        desired = _eval(inst.c, state)
+        if not (expected.is_const and expected.lo == 0):
+            continue
+        if desired.is_const and desired.lo == 0:
+            continue
+        address = _const_address(inst, state)
+        if address is not None:
+            locks.add(address)
+    return locks
+
+
+class ThreadLocksets:
+    """Per-instruction must-held locksets for one thread."""
+
+    def __init__(self, before: Dict[int, LockSet], universe: FrozenSet[int]):
+        #: Lockset guaranteed held immediately before each instruction.
+        self.before = before
+        self.universe = universe
+
+    def held_at(self, index: int) -> LockSet:
+        return self.before.get(index, frozenset())
+
+
+def analyze_locksets(values: ThreadValueAnalysis,
+                     universe: FrozenSet[int]) -> ThreadLocksets:
+    """Forward must-dataflow of held locks over one thread."""
+    cfg = values.cfg
+    instructions = cfg.code.instructions
+
+    #: None = not yet visited (top: the full universe, identity of meet).
+    block_in: List[Optional[FrozenSet[int]]] = [None] * len(cfg.blocks)
+
+    def run_block(block_index: int, held_in: FrozenSet[int]):
+        """Returns (per-edge locksets, per-instruction locksets)."""
+        block = cfg.blocks[block_index]
+        held = set(held_in)
+        before: Dict[int, FrozenSet[int]] = {}
+        #: Pending acquire: (result register, lock address).
+        pending: Optional[Tuple[int, int]] = None
+        for i in block.instruction_indices():
+            state = values.states_before.get(i)
+            if state is None:
+                break
+            before[i] = frozenset(held)
+            inst = instructions[i]
+            if inst.op is Opcode.CMPXCHG:
+                address = _const_address(inst, state)
+                expected = _eval(inst.b, state)
+                desired = _eval(inst.c, state)
+                if (address in universe
+                        and expected.is_const and expected.lo == 0
+                        and not (desired.is_const and desired.lo == 0)):
+                    pending = (inst.rd, address)
+                else:
+                    pending = None
+            elif inst.rd is not None and pending is not None \
+                    and inst.rd == pending[0]:
+                pending = None
+            if inst.is_store and held:
+                # Any write that may touch a held lock word releases it
+                # (sim/locks.py releases with a plain store of 0).
+                addr = _eval(inst.a, state).add(
+                    StrideInterval.const(inst.offset))
+                for lock in list(held):
+                    if addr.may_overlap(inst.size,
+                                        StrideInterval.const(lock), 8):
+                        held.discard(lock)
+        base = frozenset(held)
+        edges: Dict[int, FrozenSet[int]] = {}
+        last = instructions[block.end - 1]
+        for succ in block.successors:
+            out = base
+            if (pending is not None and last.op is Opcode.BEQ
+                    and last.a is not None and last.a.is_reg
+                    and last.a.value == pending[0]
+                    and last.b is not None and not last.b.is_reg
+                    and last.b.value == 0
+                    and last.target == cfg.blocks[succ].start):
+                out = base | {pending[1]}
+            edges[succ] = out
+        return edges, before
+
+    before_all: Dict[int, LockSet] = {}
+    work = [0]
+    block_in[0] = frozenset()
+    while work:
+        block_index = work.pop()
+        held_in = block_in[block_index]
+        if held_in is None:
+            continue
+        edges, before = run_block(block_index, held_in)
+        before_all.update(before)
+        for succ, out in edges.items():
+            current = block_in[succ]
+            new = out if current is None else (current & out)
+            if current is None or new != current:
+                block_in[succ] = new
+                work.append(succ)
+
+    return ThreadLocksets(before_all, universe)

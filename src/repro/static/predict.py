@@ -1,0 +1,303 @@
+"""Static sharing prediction: footprints -> cache lines -> TS/FS.
+
+The predictor runs the abstract interpreter (``absint.py``) and lockset
+analysis (``lockset.py``) on every thread of a program, projects each
+memory footprint onto 64-byte cache lines with byte-granular bitmaps,
+and classifies every line that two threads may touch:
+
+* overlapping bytes with at least one write -> potential true sharing;
+* disjoint bytes with at least one write  -> potential false sharing;
+* pairs whose must-held locksets intersect are *synchronized*: they
+  still share the line (lock-protected true sharing is the bounded TS
+  noise the dynamic detector sees) but are flagged as lock-protected.
+
+Where the dynamic detector (``core/detect``) counts observed HITM
+events, the predictor counts *access pairs that may conflict* — it has
+no notion of rate, so it over-reports cold sharing (a one-time handoff
+and a hot loop look identical).  That asymmetry is exactly what
+``experiments/static_cmp.py`` measures: static recall of dynamically
+confirmed lines is high, static precision is low.
+
+Reports mirror the shape of :mod:`repro.core.detect.report` (per-source
+-line rows, a ``render()`` table, ``false_sharing_lines``) so the
+experiment harnesses can score both sides with the same code.
+"""
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro._constants import CACHE_LINE_SIZE
+from repro.core.detect.report import ContentionClass
+from repro.isa.program import Program, SourceLocation
+from repro.static.absint import (
+    Footprint,
+    ThreadValueAnalysis,
+    analyze_thread_values,
+    thread_entry_registers,
+)
+from repro.static.interval import StrideInterval
+from repro.static.lockset import (
+    ThreadLocksets,
+    analyze_locksets,
+    collect_lock_addresses,
+)
+
+__all__ = [
+    "StaticAccess",
+    "LinePrediction",
+    "StaticLineReport",
+    "StaticSharingReport",
+    "predict_program",
+]
+
+#: Footprints spanning more than this many bytes are clipped (with
+#: accounting) instead of enumerated.
+MAX_FOOTPRINT_SPAN = 1 << 18
+
+#: Cap on enumerated addresses per footprint; wider strided footprints
+#: are conservatively densified (over-approximating toward TS).
+MAX_ENUM_POINTS = 1 << 16
+
+
+class StaticAccess:
+    """One footprint's contribution to one cache line."""
+
+    __slots__ = ("thread", "index", "loc", "line", "bitmap", "is_write",
+                 "locks")
+
+    def __init__(self, thread: int, index: int, loc: Optional[SourceLocation],
+                 line: int, bitmap: int, is_write: bool,
+                 locks: FrozenSet[int]):
+        self.thread = thread
+        self.index = index
+        self.loc = loc
+        self.line = line
+        self.bitmap = bitmap
+        self.is_write = is_write
+        self.locks = locks
+
+
+class LinePrediction:
+    """Aggregate verdict for one cache line."""
+
+    __slots__ = ("line", "ts_pairs", "fs_pairs", "sync_pairs", "threads")
+
+    def __init__(self, line: int):
+        self.line = line
+        self.ts_pairs = 0
+        self.fs_pairs = 0
+        self.sync_pairs = 0
+        self.threads: Set[int] = set()
+
+    @property
+    def total_pairs(self) -> int:
+        return self.ts_pairs + self.fs_pairs
+
+    @property
+    def lock_protected(self) -> bool:
+        return self.total_pairs > 0 and self.sync_pairs == self.total_pairs
+
+    @property
+    def contention_class(self) -> ContentionClass:
+        if self.ts_pairs and not self.fs_pairs:
+            return ContentionClass.TRUE_SHARING
+        if self.fs_pairs and not self.ts_pairs:
+            return ContentionClass.FALSE_SHARING
+        return ContentionClass.UNKNOWN
+
+
+class StaticLineReport:
+    """One predicted source line (mirrors ``LineReport``)."""
+
+    __slots__ = ("location", "ts_pairs", "fs_pairs", "sync_pairs",
+                 "cache_lines", "threads")
+
+    def __init__(self, location: SourceLocation):
+        self.location = location
+        self.ts_pairs = 0
+        self.fs_pairs = 0
+        self.sync_pairs = 0
+        self.cache_lines: Set[int] = set()
+        self.threads: Set[int] = set()
+
+    @property
+    def lock_protected(self) -> bool:
+        total = self.ts_pairs + self.fs_pairs
+        return total > 0 and self.sync_pairs == total
+
+    @property
+    def contention_class(self) -> ContentionClass:
+        if self.ts_pairs and not self.fs_pairs:
+            return ContentionClass.TRUE_SHARING
+        if self.fs_pairs and not self.ts_pairs:
+            return ContentionClass.FALSE_SHARING
+        return ContentionClass.UNKNOWN
+
+    def __repr__(self):
+        return "<StaticLineReport %s TS=%d FS=%d -> %s%s>" % (
+            self.location, self.ts_pairs, self.fs_pairs,
+            self.contention_class.value,
+            " [locked]" if self.lock_protected else "")
+
+
+class StaticSharingReport:
+    """The predictor's output for one program."""
+
+    def __init__(self, program: Program,
+                 lines: List[StaticLineReport],
+                 line_predictions: Dict[int, LinePrediction],
+                 clipped: List[Tuple[int, Footprint]],
+                 lock_universe: FrozenSet[int]):
+        self.program = program
+        self.lines = lines
+        self.line_predictions = line_predictions
+        #: (thread, footprint) pairs too wide or unbounded to enumerate;
+        #: their sharing is *not* predicted — an explicit coverage gap
+        #: rather than a silent one.
+        self.clipped = clipped
+        self.lock_universe = lock_universe
+
+    def predicted_locations(self) -> List[SourceLocation]:
+        return [line.location for line in self.lines]
+
+    def line_for(self, location: SourceLocation) -> Optional[StaticLineReport]:
+        for line in self.lines:
+            if line.location == location:
+                return line
+        return None
+
+    def false_sharing_lines(self) -> List[StaticLineReport]:
+        return [
+            line for line in self.lines
+            if line.contention_class is ContentionClass.FALSE_SHARING
+        ]
+
+    def flagged_cache_lines(
+        self, kind: Optional[ContentionClass] = None
+    ) -> Set[int]:
+        """Cache lines predicted shared (optionally of one class)."""
+        if kind is None:
+            return set(self.line_predictions)
+        return {
+            line for line, pred in self.line_predictions.items()
+            if pred.contention_class is kind
+        }
+
+    def render(self) -> str:
+        if not self.lines:
+            out = "no cross-thread sharing predicted"
+        else:
+            rows = ["%-28s %6s %8s %8s %8s %7s" % (
+                "location", "lines", "TSpairs", "FSpairs", "class", "locked")]
+            for line in self.lines:
+                rows.append("%-28s %6d %8d %8d %8s %7s" % (
+                    str(line.location), len(line.cache_lines),
+                    line.ts_pairs, line.fs_pairs,
+                    line.contention_class.value,
+                    "yes" if line.lock_protected else ""))
+            out = "\n".join(rows)
+        if self.clipped:
+            out += "\n(%d footprint(s) clipped or unbounded; not predicted)" \
+                % len(self.clipped)
+        return out
+
+
+# ----------------------------------------------------------------------
+# Footprint -> per-line byte bitmaps
+# ----------------------------------------------------------------------
+
+def _line_bitmaps(addr: StrideInterval, size: int) -> Dict[int, int]:
+    """Map cache-line index -> byte bitmap the footprint may touch."""
+    bitmaps: Dict[int, int] = {}
+
+    def mark(byte_lo: int, byte_hi: int) -> None:
+        """Mark the contiguous byte range [byte_lo, byte_hi]."""
+        line = byte_lo // CACHE_LINE_SIZE
+        while line * CACHE_LINE_SIZE <= byte_hi:
+            line_base = line * CACHE_LINE_SIZE
+            lo = max(byte_lo, line_base) - line_base
+            hi = min(byte_hi, line_base + CACHE_LINE_SIZE - 1) - line_base
+            bitmaps[line] = bitmaps.get(line, 0) | (
+                ((1 << (hi - lo + 1)) - 1) << lo)
+            line += 1
+
+    step = addr.stride or 1
+    count = (addr.hi - addr.lo) // step + 1
+    if step <= size or count > MAX_ENUM_POINTS:
+        # Dense (or too many points to enumerate): one contiguous range.
+        mark(addr.lo, addr.hi + size - 1)
+    else:
+        for base in range(addr.lo, addr.hi + 1, step):
+            mark(base, base + size - 1)
+    return bitmaps
+
+
+def predict_program(program: Program) -> StaticSharingReport:
+    """Run the full static sharing prediction over ``program``."""
+    analyses: List[ThreadValueAnalysis] = []
+    for tid, code in enumerate(program.threads):
+        analyses.append(analyze_thread_values(
+            code, entry_registers=thread_entry_registers(tid)))
+
+    lock_universe = frozenset().union(
+        *[collect_lock_addresses(va) for va in analyses]
+    ) if analyses else frozenset()
+    locksets: List[ThreadLocksets] = [
+        analyze_locksets(va, frozenset(lock_universe)) for va in analyses
+    ]
+
+    accesses_by_line: Dict[int, List[StaticAccess]] = {}
+    clipped: List[Tuple[int, Footprint]] = []
+    for tid, va in enumerate(analyses):
+        for fp in va.footprints:
+            addr = fp.addr
+            if not addr.is_bounded or addr.span > MAX_FOOTPRINT_SPAN:
+                clipped.append((tid, fp))
+                continue
+            locks = locksets[tid].held_at(fp.index)
+            for line, bitmap in _line_bitmaps(addr, fp.size).items():
+                accesses_by_line.setdefault(line, []).append(StaticAccess(
+                    tid, fp.index, fp.inst.loc, line, bitmap,
+                    fp.is_store, locks))
+
+    line_predictions: Dict[int, LinePrediction] = {}
+    by_location: Dict[SourceLocation, StaticLineReport] = {}
+    for line, accesses in accesses_by_line.items():
+        prediction = None
+        for i, first in enumerate(accesses):
+            for second in accesses[i + 1:]:
+                if first.thread == second.thread:
+                    continue
+                if not (first.is_write or second.is_write):
+                    continue
+                if prediction is None:
+                    prediction = line_predictions.setdefault(
+                        line, LinePrediction(line))
+                overlap = first.bitmap & second.bitmap
+                synchronized = bool(first.locks & second.locks)
+                if overlap:
+                    prediction.ts_pairs += 1
+                else:
+                    prediction.fs_pairs += 1
+                if synchronized:
+                    prediction.sync_pairs += 1
+                prediction.threads.update((first.thread, second.thread))
+                for access in (first, second):
+                    if access.loc is None:
+                        continue
+                    row = by_location.setdefault(
+                        access.loc, StaticLineReport(access.loc))
+                    if overlap:
+                        row.ts_pairs += 1
+                    else:
+                        row.fs_pairs += 1
+                    if synchronized:
+                        row.sync_pairs += 1
+                    row.cache_lines.add(line)
+                    row.threads.update((first.thread, second.thread))
+
+    lines = sorted(
+        by_location.values(),
+        key=lambda row: (-(row.ts_pairs + row.fs_pairs), str(row.location)),
+    )
+    return StaticSharingReport(
+        program, lines, line_predictions, clipped, frozenset(lock_universe))

@@ -1,0 +1,332 @@
+"""Rewrite verifier: lint LASERREPAIR's SSB-instrumented output.
+
+``core/repair/rewrite.py`` output was previously trusted blindly; a bug
+there (a dropped flush, a misplaced alias check, instrumentation
+leaking out of the analyzed region) would silently break TSO or
+single-thread semantics at runtime.  The verifier discharges three
+obligations against each rewritten thread *before* the repair is
+attached:
+
+1. **Flush discipline (TSO).**  No *plain* ``STORE``/``ADDM`` may
+   execute while the SSB may hold unflushed bytes: the younger direct
+   store would become globally visible before the older buffered
+   stores — store-store reordering, the one way a store buffer breaks
+   TSO.  Ordering points (``FENCE``, ``CMPXCHG``/``XADD``, ``HALT``)
+   are *drain* points, not violations: the runtime flushes the buffer
+   there (``sim/core.py``) before touching memory, and the rewriter
+   deliberately leans on the ``HALT`` drain instead of planting a
+   flush on straight-line exit paths.  A thread that can fall off the
+   end (no ``HALT``) with a dirty buffer is still flagged — nothing
+   would ever publish those bytes.  Checked as a forward may-dataflow
+   ("may the SSB hold unflushed bytes here?") over the instrumented
+   CFG.
+
+2. **Exempt-load soundness.**  Every load left un-instrumented inside
+   the region either (a) has a footprint provably disjoint from every
+   buffered store's footprint under the abstract interpreter, or (b) is
+   guarded by an ``ALIAS_CHECK`` on the same base register, earlier in
+   the same block, with no intervening redefinition of that register.
+
+3. **Region confinement.**  Injected instructions appear exactly where
+   the analysis said (flushes at flush points, checks before their
+   loads), every region memory op that must be redirected is, nothing
+   outside the region is touched, and branch targets survived the
+   index-map translation.
+
+Any violation rejects the plan (``LaserRepair`` counts it in
+``plans_verifier_rejected`` and the run's ``RunHealth``).
+"""
+
+from typing import Dict, List, Optional, Set
+
+from repro.isa.cfg import build_cfg
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import ThreadCode
+from repro.static.absint import analyze_thread_values, thread_entry_registers
+
+__all__ = ["Violation", "VerificationResult", "verify_rewrite"]
+
+#: Ordering points where the runtime drains the SSB (``sim/core.py``
+#: calls ``_drain_ssb_if_active`` before the memory access).
+_DRAIN_OPS = frozenset(
+    {Opcode.FENCE, Opcode.CMPXCHG, Opcode.XADD, Opcode.HALT}
+)
+
+#: Plain globally-visible writes: executing one while the SSB is dirty
+#: reorders it ahead of the older buffered stores (obligation 1).
+_DIRECT_STORE_OPS = frozenset({Opcode.STORE, Opcode.ADDM})
+
+#: Ops that put bytes into the SSB.
+_BUFFERED_STORE_OPS = frozenset({Opcode.SSB_STORE, Opcode.SSB_ADDM})
+
+#: New-code ops every instrumented original op must have become.
+_SSB_COUNTERPART = {
+    Opcode.LOAD: Opcode.SSB_LOAD,
+    Opcode.STORE: Opcode.SSB_STORE,
+    Opcode.ADDM: Opcode.SSB_ADDM,
+}
+
+#: Ops that overwrite their destination register.
+_REG_WRITE_OPS = frozenset(
+    {Opcode.MOV, Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV,
+     Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.SHL, Opcode.SHR,
+     Opcode.LOAD, Opcode.SSB_LOAD, Opcode.CMPXCHG, Opcode.XADD}
+)
+
+
+class Violation:
+    """One broken obligation, anchored at a new-code instruction."""
+
+    __slots__ = ("kind", "index", "message")
+
+    def __init__(self, kind: str, index: int, message: str):
+        self.kind = kind  # "tso-flush" | "alias" | "confinement"
+        self.index = index
+        self.message = message
+
+    def __repr__(self):
+        return "<Violation %s @%d: %s>" % (self.kind, self.index, self.message)
+
+
+class VerificationResult:
+    """Outcome of verifying one rewritten thread."""
+
+    def __init__(self, thread: Optional[int],
+                 violations: List[Violation]):
+        self.thread = thread
+        self.violations = violations
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        if self.ok:
+            return "ok"
+        kinds: Dict[str, int] = {}
+        for violation in self.violations:
+            kinds[violation.kind] = kinds.get(violation.kind, 0) + 1
+        counts = " ".join(
+            "%s=%d" % (kind, count) for kind, count in sorted(kinds.items())
+        )
+        return "%d violation(s): %s (first: %s)" % (
+            len(self.violations), counts, self.violations[0].message)
+
+    def __repr__(self):
+        return "<VerificationResult %s>" % self.summary()
+
+
+def _copy_position(index: int, index_map: Dict[int, int],
+                   flush_before: Set[int], checks_before: Set[int]) -> int:
+    """New-code index of the *copy* of original instruction ``index``.
+
+    ``index_map`` points at the first instruction injected for an
+    original index (so branches land on the guard), hence the copy sits
+    after any flush and alias check injected there.
+    """
+    return (index_map[index]
+            + (1 if index in flush_before else 0)
+            + (1 if index in checks_before else 0))
+
+
+# ----------------------------------------------------------------------
+# Obligation 1: flush discipline
+# ----------------------------------------------------------------------
+
+def _check_flush_discipline(new_code: ThreadCode,
+                            violations: List[Violation]) -> None:
+    cfg = build_cfg(new_code)
+    instructions = new_code.instructions
+
+    def block_out(block_index: int, dirty: bool) -> bool:
+        for i in cfg.blocks[block_index].instruction_indices():
+            op = instructions[i].op
+            if op in _BUFFERED_STORE_OPS:
+                dirty = True
+            elif op is Opcode.SSB_FLUSH or op in _DRAIN_OPS:
+                dirty = False
+        return dirty
+
+    # Seed every block: a block *generates* dirty on its own (an
+    # SSB_STORE inside), so each must push its out-state at least once.
+    dirty_in: Dict[int, bool] = {b.index: False for b in cfg.blocks}
+    work = [b.index for b in cfg.blocks]
+    while work:
+        block_index = work.pop()
+        out = block_out(block_index, dirty_in[block_index])
+        for succ in cfg.blocks[block_index].successors:
+            if out and not dirty_in[succ]:
+                dirty_in[succ] = True
+                work.append(succ)
+
+    for block in cfg.blocks:
+        dirty = dirty_in[block.index]
+        for i in block.instruction_indices():
+            op = instructions[i].op
+            if op in _DIRECT_STORE_OPS and dirty:
+                violations.append(Violation(
+                    "tso-flush", i,
+                    "direct %s at %d reachable with unflushed SSB stores "
+                    "(store-store reordering)" % (op.value, i)))
+            elif op in _BUFFERED_STORE_OPS:
+                dirty = True
+            elif op is Opcode.SSB_FLUSH or op in _DRAIN_OPS:
+                dirty = False
+        if not block.successors and instructions[block.end - 1].op \
+                is not Opcode.HALT and dirty:
+            violations.append(Violation(
+                "tso-flush", block.end - 1,
+                "thread falls off the end with unflushed SSB stores"))
+
+
+# ----------------------------------------------------------------------
+# Obligation 2: exempt loads
+# ----------------------------------------------------------------------
+
+def _check_exempt_loads(analysis, new_code: ThreadCode,
+                        index_map: Dict[int, int],
+                        thread: Optional[int],
+                        violations: List[Violation]) -> None:
+    if not analysis.exempt_loads:
+        return
+    flush_before = set(analysis.flush_before_instructions)
+    checks_before = set(analysis.alias_checks)
+    entry = thread_entry_registers(thread) if thread is not None else None
+    values = analyze_thread_values(new_code, entry_registers=entry)
+    instructions = new_code.instructions
+
+    buffered = [
+        fp for fp in values.footprints
+        if fp.inst.op in _BUFFERED_STORE_OPS
+    ]
+
+    for exempt in sorted(analysis.exempt_loads):
+        position = _copy_position(exempt, index_map, flush_before,
+                                  checks_before)
+        inst = instructions[position]
+        if inst.op is not Opcode.LOAD:
+            violations.append(Violation(
+                "alias", position,
+                "exempt load %d is not a plain LOAD in the rewrite"
+                % exempt))
+            continue
+        footprint = values.footprint_for(position)
+        if footprint is not None and buffered and all(
+                not footprint.may_overlap(store) for store in buffered):
+            continue  # provably non-aliasing: no guard needed
+        if not buffered:
+            continue  # nothing ever enters the SSB
+        if not _is_guarded(values.cfg, instructions, position):
+            violations.append(Violation(
+                "alias", position,
+                "exempt load at %d (orig %d) neither provably disjoint "
+                "from buffered stores nor guarded by an ALIAS_CHECK"
+                % (position, exempt)))
+
+
+def _is_guarded(cfg, instructions: List[Instruction], position: int) -> bool:
+    """An ALIAS_CHECK covers the load: same base register and address
+    expression, earlier in the block, with no redefinition between."""
+    load = instructions[position]
+    if load.a is None or not load.a.is_reg:
+        return False
+    base = load.a.value
+    block = cfg.block_of_instruction(position)
+    for i in range(position - 1, block.start - 1, -1):
+        inst = instructions[i]
+        if (inst.op is Opcode.ALIAS_CHECK and inst.a == load.a
+                and inst.offset == load.offset and inst.size == load.size):
+            return True
+        if inst.op in _REG_WRITE_OPS and inst.rd == base:
+            return False  # the checked def is not this load's def
+    return False
+
+
+# ----------------------------------------------------------------------
+# Obligation 3: confinement
+# ----------------------------------------------------------------------
+
+def _check_confinement(original: ThreadCode, analysis,
+                       new_code: ThreadCode, index_map: Dict[int, int],
+                       violations: List[Violation]) -> None:
+    flush_before = set(analysis.flush_before_instructions)
+    checks_before = set(analysis.alias_checks)
+    instrumented = analysis.instrumented_instruction_indices()
+    old_instructions = original.instructions
+    new_instructions = new_code.instructions
+
+    expected_flush = {index_map[f] for f in flush_before}
+    expected_check = {
+        index_map[c] + (1 if c in flush_before else 0) for c in checks_before
+    }
+    expected_ssb: Dict[int, Opcode] = {}
+    for i in instrumented:
+        old_op = old_instructions[i].op
+        counterpart = _SSB_COUNTERPART.get(old_op)
+        if counterpart is None:
+            continue  # CMPXCHG/XADD stay direct: they drain the SSB
+        position = _copy_position(i, index_map, flush_before, checks_before)
+        expected_ssb[position] = counterpart
+
+    for j, inst in enumerate(new_instructions):
+        if inst.op is Opcode.SSB_FLUSH and j not in expected_flush:
+            violations.append(Violation(
+                "confinement", j,
+                "SSB_FLUSH at %d not at an analysis flush point" % j))
+        elif inst.op is Opcode.ALIAS_CHECK and j not in expected_check:
+            violations.append(Violation(
+                "confinement", j,
+                "ALIAS_CHECK at %d not at an analysis check point" % j))
+        elif inst.op in (Opcode.SSB_LOAD, Opcode.SSB_STORE, Opcode.SSB_ADDM):
+            if expected_ssb.get(j) is not inst.op:
+                violations.append(Violation(
+                    "confinement", j,
+                    "%s at %d outside the instrumentation region"
+                    % (inst.op.value, j)))
+
+    for j in sorted(expected_flush):
+        if new_instructions[j].op is not Opcode.SSB_FLUSH:
+            violations.append(Violation(
+                "confinement", j,
+                "missing SSB_FLUSH at analysis flush point %d" % j))
+    for j in sorted(expected_check):
+        if new_instructions[j].op is not Opcode.ALIAS_CHECK:
+            violations.append(Violation(
+                "confinement", j,
+                "missing ALIAS_CHECK at analysis check point %d" % j))
+    for j, op in sorted(expected_ssb.items()):
+        if new_instructions[j].op is not op:
+            violations.append(Violation(
+                "confinement", j,
+                "region memory op at %d left uninstrumented (%s, wanted %s)"
+                % (j, new_instructions[j].op.value, op.value)))
+
+    # Branch retargeting survived the index-map translation.
+    for i, old in enumerate(old_instructions):
+        if not old.is_branch:
+            continue
+        position = _copy_position(i, index_map, flush_before, checks_before)
+        new = new_instructions[position]
+        if not new.is_branch or new.target != index_map[old.target]:
+            violations.append(Violation(
+                "confinement", position,
+                "branch at %d retargeted to %s, expected %d"
+                % (position,
+                   getattr(new, "target", None), index_map[old.target])))
+
+
+def verify_rewrite(original: ThreadCode, analysis,
+                   new_code: ThreadCode, index_map: Dict[int, int],
+                   thread: Optional[int] = None) -> VerificationResult:
+    """Verify one rewritten thread against its repair analysis.
+
+    ``analysis`` is the :class:`ThreadRepairAnalysis` the rewrite was
+    produced from (duck-typed: only ``flush_before_instructions``,
+    ``alias_checks``, ``exempt_loads`` and
+    ``instrumented_instruction_indices()`` are consulted).
+    """
+    violations: List[Violation] = []
+    _check_flush_discipline(new_code, violations)
+    _check_exempt_loads(analysis, new_code, index_map, thread, violations)
+    _check_confinement(original, analysis, new_code, index_map, violations)
+    return VerificationResult(thread, violations)

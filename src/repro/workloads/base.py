@@ -16,7 +16,7 @@ entries).
 """
 
 import enum
-from typing import Callable, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.detect.report import ContentionClass
 from repro.isa.program import Program, SourceLocation

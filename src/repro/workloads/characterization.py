@@ -12,7 +12,7 @@ We generate the same grid: {TS, FS} x {RW, WW} x 10 filler sizes x 4
 filler kinds = 160 cases (finite loops stand in for the infinite ones).
 """
 
-from typing import Iterator, List
+from typing import List
 
 from repro.isa.assembler import Assembler
 from repro.isa.program import Program

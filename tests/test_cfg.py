@@ -72,6 +72,85 @@ class TestReachability:
         assert cfg.reachable_from({0}) == {0, 1, 2, 3}
 
 
+def unreachable_code():
+    """Dead code after an unconditional HALT (nothing targets it)."""
+    asm = Assembler()
+    asm.mov("r0", 1)           # 0  BB0
+    asm.halt()                 # 1
+    asm.add("r1", "r1", 1)     # 2  BB1 (unreachable)
+    asm.halt()                 # 3
+    return asm.build()
+
+
+def infinite_loop_code():
+    """A spin loop with no exit path, plus dead code after it."""
+    asm = Assembler()
+    asm.mov("r0", 0)           # 0  BB0
+    asm.label("spin")
+    asm.add("r0", "r0", 1)     # 1  BB1 (spins forever)
+    asm.jmp("spin")            # 2
+    asm.halt()                 # 3  BB2 (unreachable)
+    return asm.build()
+
+
+class TestUnreachableBlocks:
+    def test_dead_block_is_partitioned_but_unreachable(self):
+        cfg = build_cfg(unreachable_code())
+        assert len(cfg.blocks) == 2
+        assert cfg.blocks[1].start == 2
+        assert cfg.reachable_from({0}) == {0}
+        assert cfg.blocks[1].predecessors == []
+
+    def test_dead_block_dominators_are_the_universe(self):
+        # Unreachable blocks meet over zero predecessors: conventionally
+        # dominated by everything (the analysis never constrains them).
+        cfg = build_cfg(unreachable_code())
+        assert cfg.dominators(1) == frozenset({0, 1})
+
+    def test_dead_block_is_still_an_exit_block(self):
+        cfg = build_cfg(unreachable_code())
+        assert [b.index for b in cfg.exit_blocks()] == [0, 1]
+
+    def test_reachable_entry_dominance_is_unaffected(self):
+        cfg = build_cfg(unreachable_code())
+        assert cfg.dominators(0) == frozenset({0})
+        assert EXIT in cfg.post_dominators(0)
+
+
+class TestInfiniteLoops:
+    def test_spin_block_loops_only_on_itself(self):
+        cfg = build_cfg(infinite_loop_code())
+        assert cfg.blocks[1].successors == [1]
+        assert sorted(cfg.blocks[1].predecessors) == [0, 1]
+
+    def test_spin_block_cannot_reach_an_exit_block(self):
+        cfg = build_cfg(infinite_loop_code())
+        reachable = cfg.reachable_from({1})
+        assert reachable == {1}
+        assert not any(
+            not cfg.blocks[b].successors for b in reachable
+        )
+
+    def test_spin_post_dominators_are_vacuously_the_universe(self):
+        # No path from the spin reaches EXIT, so in the reverse graph
+        # the block is unreachable and the meet over zero useful paths
+        # leaves the universe: "post-dominated by everything", including
+        # EXIT itself.  Callers must pair post-dominance with a forward
+        # reachability check (as the repair analysis does).
+        cfg = build_cfg(infinite_loop_code())
+        postdoms = cfg.post_dominators(1)
+        assert EXIT in postdoms
+        assert postdoms == frozenset({EXIT, 0, 1, 2})
+
+    def test_divergent_entry_also_has_vacuous_post_dominators(self):
+        cfg = build_cfg(infinite_loop_code())
+        assert cfg.post_dominators(0) == frozenset({EXIT, 0, 1, 2})
+
+    def test_dead_halt_block_post_dominates_itself_and_exits(self):
+        cfg = build_cfg(infinite_loop_code())
+        assert cfg.post_dominators(2) == frozenset({EXIT, 2})
+
+
 class TestDominance:
     def test_entry_dominates_all(self):
         cfg = build_cfg(diamond_code())
