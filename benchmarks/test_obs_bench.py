@@ -1,0 +1,19 @@
+"""BENCH_obs.json: the perf snapshot behind the observability layer."""
+
+from repro.obs.bench import DEFAULT_BENCH_WORKLOADS, collect_bench, render_bench
+
+
+def test_obs_bench_snapshot(benchmark):
+    bench = benchmark.pedantic(collect_bench, rounds=1, iterations=1)
+    print()
+    print(render_bench(bench))
+    assert len(bench["workloads"]) == len(DEFAULT_BENCH_WORKLOADS) >= 5
+    # Figure 10's claim: LASER monitoring is near-free on average
+    # (repair speedups can push the geomean below 1.0).
+    assert bench["geomean_overhead"] < 1.10
+    for name, entry in bench["workloads"].items():
+        assert entry["native_cycles"] > 0, name
+        assert entry["laser_cycles"] > 0, name
+    # the two known-repairable workloads actually engage repair
+    assert bench["workloads"]["histogram'"]["repaired"]
+    assert bench["workloads"]["linear_regression"]["repaired"]

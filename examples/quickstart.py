@@ -4,7 +4,9 @@
 Runs the linear_regression benchmark analog three ways:
 
 1. natively (the false sharing costs most of the runtime),
-2. under LASER (detection + online repair),
+2. under LASER with tracing on (detection + online repair, plus the
+   per-window HITM-rate timeline and repair-lifecycle events that
+   show *when* the repair attached and what it did to the rate),
 3. with the manual fix LASERDETECT's report suggests (cache-line
    alignment of the `lreg_args` array).
 
@@ -29,11 +31,23 @@ def main():
     print("native run:        %8d cycles, %5d HITM events (%d/sec)" % (
         native.cycles, native.hitm_count, native.hitm_rate_per_second))
 
-    laser = Laser(LaserConfig())
+    laser = Laser(LaserConfig(trace_enabled=True))
     result = laser.run_workload(workload)
     print("under LASER:       %8d cycles  (%.2fx native, repaired=%s)" % (
         result.cycles, result.cycles / native.cycles, result.repaired))
     print("run health:        %s" % result.health.summary())
+
+    # The telemetry time series shows the repair working: the HITM
+    # rate is high until the detector crosses its threshold, repair
+    # attaches (R), and the rate collapses for the rest of the run.
+    print("\nper-window HITM-rate timeline:")
+    print(result.telemetry.render_timeline())
+
+    print("\nrepair lifecycle (from the event trace):")
+    for event in result.telemetry.tracer.events_named("repair."):
+        args = " ".join("%s=%s" % (k, v)
+                        for k, v in sorted((event.args or {}).items()))
+        print("  %8d  %-22s %s" % (event.cycle, event.name, args))
 
     # Every rewrite LASERREPAIR attaches is first proved safe by the
     # static TSO/SSB verifier; a rejection here would mean the rewriter

@@ -40,6 +40,8 @@ class LaserConfig:
         watchdog_abort_rate: float = 4.0,
         htm_abort_fallback_threshold: int = HTM_ABORT_FALLBACK_THRESHOLD,
         verify_repairs: bool = True,
+        trace_enabled: bool = False,
+        trace_capacity: int = 65_536,
     ):
         if sample_after_value < 1:
             raise ValueError("SAV must be >= 1")
@@ -55,6 +57,8 @@ class LaserConfig:
             raise ValueError("watchdog_rate_ratio must be in [0, 1]")
         if htm_abort_fallback_threshold < 1:
             raise ValueError("htm_abort_fallback_threshold must be >= 1")
+        if trace_capacity < 1:
+            raise ValueError("trace_capacity must be >= 1")
         #: PEBS Sample-After Value; 19 is the paper's default (a prime,
         #: per the PEBS experience reports it cites).
         self.sample_after_value = sample_after_value
@@ -104,6 +108,14 @@ class LaserConfig:
         #: (``repro.static.verify``); a rewrite it cannot prove safe is
         #: rejected and counted in ``RunHealth.repair_verifier_rejections``.
         self.verify_repairs = verify_repairs
+        #: Structured event tracing (``repro.obs``).  Off by default:
+        #: a disabled tracer costs one branch per instrumentation site
+        #: and a traced run's *simulated* cycle counts are identical
+        #: either way (tracing observes; it never charges cycles).
+        self.trace_enabled = trace_enabled
+        #: Ring-buffer bound on retained trace events; the tracer sheds
+        #: oldest-first beyond this and counts ``events_dropped``.
+        self.trace_capacity = trace_capacity
 
     def replace(self, **kwargs) -> "LaserConfig":
         """Return a copy with some fields overridden."""
@@ -126,6 +138,8 @@ class LaserConfig:
             watchdog_abort_rate=self.watchdog_abort_rate,
             htm_abort_fallback_threshold=self.htm_abort_fallback_threshold,
             verify_repairs=self.verify_repairs,
+            trace_enabled=self.trace_enabled,
+            trace_capacity=self.trace_capacity,
         )
         fields.update(kwargs)
         return LaserConfig(**fields)

@@ -11,7 +11,7 @@ be cut at any time with any rate threshold — thresholds are applied at
 report time, "offline, without rerunning the program."
 """
 
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional, Set
 
 from repro._constants import DETECTOR_RECORD_COST
 from repro.core.detect.filters import RecordFilter
@@ -20,6 +20,7 @@ from repro.core.detect.linemodel import CacheLineModel, SharingType
 from repro.core.detect.loadstore import LoadStoreSets
 from repro.core.detect.report import ContentionReport, LineReport
 from repro.isa.program import Program, SourceLocation
+from repro.obs.trace import NULL_TRACER
 from repro.pebs.events import StrippedRecord
 from repro.sim.vmmap import VirtualMemoryMap
 
@@ -52,6 +53,7 @@ class DetectionPipeline:
         vmmap: VirtualMemoryMap,
         sample_after_value: int,
         record_cost: int = DETECTOR_RECORD_COST,
+        tracer=None,
     ):
         self.program = program
         self.filter = RecordFilter(vmmap)
@@ -61,6 +63,11 @@ class DetectionPipeline:
         self.sample_after_value = sample_after_value
         self.record_cost = record_cost
         self.stats = PipelineStats()
+        #: Event tracer (``repro.obs.trace``); emits ``detect.window_roll``
+        #: per detection window and ``detect.line_over_threshold`` the
+        #: first time a source line crosses the report threshold.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._lines_reported: Set[SourceLocation] = set()
         # Per-source-line TS/FS event counts ("associated with the PC of N").
         self._sharing_by_line: Dict[SourceLocation, List[int]] = {}
 
@@ -103,9 +110,24 @@ class DetectionPipeline:
         else:
             counts[1] += 1
 
-    def roll_window(self, window_cycles: int) -> None:
-        """Close a detection window (called at each periodic check)."""
+    def roll_window(self, window_cycles: int,
+                    cycle: Optional[int] = None) -> None:
+        """Close a detection window (called at each periodic check).
+
+        ``cycle`` is the machine cycle at which the window closed; it
+        timestamps the trace event (callers without a clock may omit
+        it and the event is stamped with the window length alone).
+        """
         self.aggregator.roll_window(window_cycles)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "detect.window_roll",
+                cycle if cycle is not None else window_cycles,
+                window_cycles=window_cycles,
+                records_seen=self.stats.records_seen,
+                records_admitted=self.stats.records_admitted,
+                undecodable_pcs=self.stats.undecodable_pcs,
+            )
 
     # ------------------------------------------------------------------
     # Reporting
@@ -121,10 +143,20 @@ class DetectionPipeline:
             else 0.0
         )
         lines = []
+        traced = self.tracer.enabled
         for stats in self.aggregator.lines_above_threshold(
             duration_cycles, rate_threshold
         ):
             ts, fs = self._sharing_by_line.get(stats.location, (0, 0))
+            if traced and stats.location not in self._lines_reported:
+                self._lines_reported.add(stats.location)
+                self.tracer.emit(
+                    "detect.line_over_threshold", duration_cycles,
+                    location=str(stats.location),
+                    hitm_rate=round(stats.hitm_rate(
+                        duration_cycles, self.sample_after_value), 3),
+                    ts_events=ts, fs_events=fs,
+                )
             lines.append(
                 LineReport(
                     location=stats.location,

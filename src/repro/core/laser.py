@@ -37,6 +37,9 @@ from repro.core.detect.report import ContentionReport
 from repro.core.repair.manager import LaserRepair, RepairPlan
 from repro.errors import DetectorStall, RepairError
 from repro.faults import FaultInjector, FaultPlan
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import RunTelemetry, WindowStats
+from repro.obs.trace import NULL_TRACER, EventTracer
 from repro.pebs.driver import KernelDriver
 from repro.pebs.imprecision import ImprecisionModel
 from repro.pebs.pmu import PerformanceMonitoringUnit
@@ -66,7 +69,19 @@ class RunHealth:
         "injected_htm_aborts",
         "ssb_fallback_activations",
         "faults_injected",
+        "undecodable_pcs",
+        "records_pending_at_exit",
     )
+    #: Informational fields: reported, but not degradation.  A repair
+    #: *rejection* is the healthy path (Section 5.4); undecodable PCs
+    #: are expected PEBS skid noise (most wrong PCs are not memory
+    #: ops); records pending at application exit are drained into the
+    #: final report, not lost.
+    _INFO_FIELDS = frozenset({
+        "repair_rejections",
+        "undecodable_pcs",
+        "records_pending_at_exit",
+    })
     __slots__ = _FIELDS
 
     def __init__(self, **counts: int):
@@ -79,9 +94,10 @@ class RunHealth:
     def degraded(self) -> bool:
         """True if anything was lost, restarted, rolled back or faulted.
 
-        A repair *rejection* is not degradation — declining an
-        unprofitable repair is the healthy path (Section 5.4) — so
-        ``repair_rejections`` is reported but not counted here.  A
+        Fields in ``_INFO_FIELDS`` are reported but not counted here:
+        declining an unprofitable repair is the healthy path
+        (Section 5.4), undecodable PCs are expected skid noise, and
+        exit-pending records are drained into the final report.  A
         *verifier* rejection is different: the rewriter produced code
         the static TSO/SSB checker could not prove safe, so
         ``repair_verifier_rejections`` does count as degradation.
@@ -89,7 +105,7 @@ class RunHealth:
         return any(
             getattr(self, field)
             for field in self._FIELDS
-            if field != "repair_rejections"
+            if field not in self._INFO_FIELDS
         )
 
     def as_dict(self) -> dict:
@@ -98,7 +114,13 @@ class RunHealth:
     def summary(self) -> str:
         """One line for operators (quickstart prints this)."""
         if not self.degraded:
-            return "healthy (no drops, stalls, rollbacks or faults)"
+            info = [
+                "%s=%d" % (field, getattr(self, field))
+                for field in self._FIELDS
+                if field in self._INFO_FIELDS and getattr(self, field)
+            ]
+            base = "healthy (no drops, stalls, rollbacks or faults)"
+            return base + (" [info: %s]" % " ".join(info) if info else "")
         parts = [
             "%s=%d" % (field, getattr(self, field))
             for field in self._FIELDS
@@ -127,6 +149,7 @@ class LaserRunResult:
         pipeline: DetectionPipeline,
         machine: Machine,
         health: Optional[RunHealth] = None,
+        telemetry: Optional[RunTelemetry] = None,
     ):
         self.cycles = cycles
         self.report = report
@@ -137,6 +160,10 @@ class LaserRunResult:
         self.pipeline = pipeline
         self.machine = machine
         self.health = health or RunHealth()
+        #: Per-run observability bundle (``repro.obs``): the windowed
+        #: metrics time series, the registry snapshots, and the event
+        #: tracer (NULL_TRACER unless ``config.trace_enabled``).
+        self.telemetry = telemetry or RunTelemetry()
 
     @property
     def detector_cycles(self) -> int:
@@ -202,11 +229,23 @@ class Laser:
         config = self.config
         program = built.program
         injector = FaultInjector(self.faults)
+        # Observability: the tracer is shared by every instrumented
+        # component (machine/HTM, PMU, driver, pipeline, repair); the
+        # telemetry bundle collects the per-window time series.  With
+        # tracing off the shared NULL_TRACER makes every site a single
+        # predicted-not-taken branch, and a run's simulated cycles are
+        # identical either way — tracing observes, it never charges.
+        tracer = (
+            EventTracer(capacity=config.trace_capacity)
+            if config.trace_enabled else NULL_TRACER
+        )
+        telemetry = RunTelemetry(tracer=tracer, metrics=MetricsRegistry())
         machine = Machine(
             program,
             seed=config.seed,
             allocator=built.allocator,
             fault_injector=injector,
+            tracer=tracer,
         )
         built.apply_init(machine)
 
@@ -217,7 +256,8 @@ class Laser:
             app_region.start, app_region.end, seed=config.seed
         )
         driver = KernelDriver(
-            outbox_capacity=config.outbox_capacity, injector=injector
+            outbox_capacity=config.outbox_capacity, injector=injector,
+            tracer=tracer,
         )
         pmu = PerformanceMonitoringUnit(
             imprecision,
@@ -225,10 +265,18 @@ class Laser:
             sample_after_value=config.sample_after_value,
             pebs_enabled=config.detection_enabled,
             injector=injector,
+            tracer=tracer,
         )
         machine.on_hitm = pmu.on_hitm
         pipeline = DetectionPipeline(
-            program, machine.vmmap, config.sample_after_value
+            program, machine.vmmap, config.sample_after_value,
+            tracer=tracer,
+        )
+        tracer.emit(
+            "laser.run_begin", 0, program=program.name,
+            sample_after_value=config.sample_after_value,
+            check_interval=config.check_interval_cycles,
+            repair_enabled=config.repair_enabled,
         )
 
         health = RunHealth()
@@ -237,6 +285,13 @@ class Laser:
         plan: Optional[RepairPlan] = None
         next_check = config.check_interval_cycles
         window_start = 0
+        # Windowed-telemetry marker: totals as of the last recorded
+        # window, so each window stores deltas (see _record_window).
+        marker = {
+            "cycle": 0, "hitm": 0, "seen": 0, "admitted": 0,
+            "dropped": 0, "detector": 0, "driver": 0,
+            "flushes": 0, "aborts": 0,
+        }
         stalled = False
         backoff_remaining = 0
         next_backoff = config.repair_backoff_intervals
@@ -263,12 +318,24 @@ class Laser:
                 if stalled:
                     stalled = False
                     health.detector_restarts += 1
+                    tracer.emit("detector.resync", machine.cycle,
+                                backlog=driver.pending_records)
                 pipeline.process(driver.flush_all())
-                pipeline.roll_window(machine.cycle - window_start)
+                pipeline.roll_window(machine.cycle - window_start,
+                                     cycle=machine.cycle)
                 window_start = machine.cycle
             except DetectorStall:
                 health.detector_stalls += 1
                 stalled = True
+                tracer.emit("detector.stall", machine.cycle,
+                            backlog=driver.pending_records)
+            self._record_window(
+                telemetry, marker, machine, pmu, driver, pipeline, plan,
+                stalled=stalled,
+                repair_state=("attached" if repaired
+                              else "rolled_back" if rolled_back
+                              else "idle"),
+            )
             if result.finished:
                 break
             next_check = machine.cycle + config.check_interval_cycles
@@ -290,8 +357,16 @@ class Laser:
                     )
                     aborts = self._ssb_abort_count(machine)
                     abort_rate = (aborts - mark_aborts) / config.watchdog_windows
-                    if (post_rate >= config.watchdog_rate_ratio * attach_rate
-                            or abort_rate >= config.watchdog_abort_rate):
+                    paying = (post_rate < config.watchdog_rate_ratio * attach_rate
+                              and abort_rate < config.watchdog_abort_rate)
+                    tracer.emit(
+                        "repair.watchdog", machine.cycle,
+                        post_rate=round(post_rate, 3),
+                        attach_rate=round(attach_rate, 3),
+                        abort_rate=round(abort_rate, 3),
+                        verdict="keep" if paying else "detach",
+                    )
+                    if not paying:
                         self.repairer.detach(machine, plan)
                         health.rollbacks += 1
                         repaired = False
@@ -312,11 +387,14 @@ class Laser:
                         "injected repair analysis failure at cycle %d"
                         % machine.cycle
                     )
-                plan = self._maybe_repair(machine, pipeline)
+                plan = self._maybe_repair(machine, pipeline, tracer)
             except RepairError:
                 health.repair_errors += 1
                 backoff_remaining = next_backoff
                 next_backoff = min(next_backoff * 2, config.repair_backoff_max)
+                tracer.emit("repair.backoff", machine.cycle,
+                            reason="repair_error",
+                            intervals=backoff_remaining)
                 continue
             if plan is not None and plan.profitable:
                 self.repairer.attach(machine, plan)
@@ -338,10 +416,33 @@ class Laser:
                     health.repair_rejections += 1
                 backoff_remaining = next_backoff
                 next_backoff = min(next_backoff * 2, config.repair_backoff_max)
+                tracer.emit("repair.backoff", machine.cycle,
+                            reason=plan.rejected_reason,
+                            intervals=backoff_remaining)
 
+        # Records still sitting in the driver at application exit were
+        # never seen by the *online* detector; surface the count before
+        # the final drain folds them into the offline report.
+        health.records_pending_at_exit = driver.pending_records
         pipeline.process(driver.flush_all())
+        if health.records_pending_at_exit or stalled:
+            # Catch-up window: whatever the final drain added beyond the
+            # last recorded window (stalled finishes, exit backlogs).
+            self._record_window(
+                telemetry, marker, machine, pmu, driver, pipeline, plan,
+                stalled=stalled,
+                repair_state=("attached" if repaired
+                              else "rolled_back" if rolled_back
+                              else "idle"),
+            )
         report = pipeline.report(machine.cycle, config.rate_threshold)
-        self._finalize_health(health, machine, driver, injector, plan)
+        self._finalize_health(health, machine, driver, injector, plan,
+                              pipeline)
+        tracer.emit(
+            "laser.run_end", machine.cycle, cycles=machine.cycle,
+            hitm_events=pmu.total_hitm_count, repaired=repaired,
+            degraded=health.degraded,
+        )
         return LaserRunResult(
             cycles=machine.cycle,
             report=report,
@@ -352,6 +453,7 @@ class Laser:
             pipeline=pipeline,
             machine=machine,
             health=health,
+            telemetry=telemetry,
         )
 
     @staticmethod
@@ -363,9 +465,88 @@ class Laser:
         )
 
     @staticmethod
+    def _ssb_totals(machine: Machine, plan: Optional[RepairPlan]):
+        """(flushes, htm_aborts) over attached *and* detached SSBs."""
+        buffers = [
+            core.ssb for core in machine.cores if core.ssb is not None
+        ]
+        if plan is not None:
+            buffers.extend(plan.detached_buffers)
+        return (
+            sum(ssb.stats.flushes for ssb in buffers),
+            sum(ssb.stats.htm_aborts for ssb in buffers),
+        )
+
+    def _record_window(self, telemetry: RunTelemetry, marker: dict,
+                       machine: Machine, pmu: PerformanceMonitoringUnit,
+                       driver: KernelDriver, pipeline: DetectionPipeline,
+                       plan: Optional[RepairPlan], stalled: bool,
+                       repair_state: str) -> None:
+        """Close one telemetry window: deltas since ``marker``.
+
+        Also updates the metrics registry, whose snapshot rides along
+        with the window (``telemetry.snapshots``).
+        """
+        end = machine.cycle
+        flushes, aborts = self._ssb_totals(machine, plan)
+        totals = {
+            "hitm": pmu.total_hitm_count,
+            "seen": pipeline.stats.records_seen,
+            "admitted": pipeline.stats.records_admitted,
+            "dropped": driver.records_dropped,
+            "detector": pipeline.stats.detector_cycles,
+            "driver": driver.driver_cycles,
+            "flushes": flushes,
+            "aborts": aborts,
+        }
+        start = marker["cycle"]
+        duration = end - start
+        hitm_delta = totals["hitm"] - marker["hitm"]
+        rate = (
+            hitm_delta * CYCLES_PER_SECOND / duration if duration > 0 else 0.0
+        )
+        window = WindowStats(
+            index=len(telemetry.windows),
+            start_cycle=start,
+            end_cycle=end,
+            stalled=stalled,
+            repair_state=repair_state,
+            hitm_events=hitm_delta,
+            hitm_rate=rate,
+            records_seen=totals["seen"] - marker["seen"],
+            records_admitted=totals["admitted"] - marker["admitted"],
+            records_dropped=totals["dropped"] - marker["dropped"],
+            detector_cycles=totals["detector"] - marker["detector"],
+            driver_cycles=totals["driver"] - marker["driver"],
+            ssb_flushes=totals["flushes"] - marker["flushes"],
+            ssb_htm_aborts=totals["aborts"] - marker["aborts"],
+        )
+        marker.update(totals)
+        marker["cycle"] = end
+        metrics = telemetry.metrics
+        metrics.counter("hitm.events").inc(window.hitm_events)
+        metrics.counter("records.seen").inc(window.records_seen)
+        metrics.counter("records.admitted").inc(window.records_admitted)
+        metrics.counter("records.dropped").inc(window.records_dropped)
+        metrics.counter("detector.cycles").inc(window.detector_cycles)
+        metrics.counter("driver.cycles").inc(window.driver_cycles)
+        metrics.counter("ssb.flushes").inc(window.ssb_flushes)
+        metrics.counter("ssb.htm_aborts").inc(window.ssb_htm_aborts)
+        metrics.counter("detector.stalled_windows").inc(1 if stalled else 0)
+        metrics.gauge("window.hitm_rate").set(round(rate, 6))
+        metrics.gauge("repair.attached").set(
+            1 if repair_state == "attached" else 0
+        )
+        metrics.histogram("window.hitm_rate_hist").observe(round(rate, 6))
+        telemetry.record_window(window)
+
+    @staticmethod
     def _finalize_health(health: "RunHealth", machine: Machine,
                          driver: KernelDriver, injector: FaultInjector,
-                         plan: Optional[RepairPlan]) -> None:
+                         plan: Optional[RepairPlan],
+                         pipeline: Optional[DetectionPipeline] = None) -> None:
+        if pipeline is not None:
+            health.undecodable_pcs = pipeline.stats.undecodable_pcs
         health.records_dropped = driver.records_dropped
         health.records_lost = injector.fired["pebs.record_drop"]
         health.records_corrupted = injector.fired["pebs.record_corrupt"]
@@ -385,8 +566,9 @@ class Laser:
     # Repair trigger (Section 4.4)
     # ------------------------------------------------------------------
 
-    def _maybe_repair(self, machine: Machine,
-                      pipeline: DetectionPipeline) -> Optional[RepairPlan]:
+    def _maybe_repair(self, machine: Machine, pipeline: DetectionPipeline,
+                      tracer: Optional[EventTracer] = None,
+                      ) -> Optional[RepairPlan]:
         """Check FS rates; build a plan if they exceed the trigger."""
         interim = pipeline.report(machine.cycle, self.config.rate_threshold)
         fs_lines = interim.repair_candidates(
@@ -401,4 +583,14 @@ class Laser:
             )
         if not contending_pcs:
             return None
-        return self.repairer.plan(machine.program, contending_pcs)
+        if tracer is not None and tracer.enabled:
+            tracer.emit(
+                "repair.trigger", machine.cycle,
+                lines=[str(line.location) for line in fs_lines],
+                pcs=len(contending_pcs),
+            )
+        return self.repairer.plan(
+            machine.program, contending_pcs,
+            tracer=tracer if tracer is not None else NULL_TRACER,
+            cycle=machine.cycle,
+        )

@@ -15,6 +15,7 @@ from repro.core.repair.analysis import ThreadRepairAnalysis, analyze_thread
 from repro.core.repair.rewrite import rewrite_thread
 from repro.core.repair.ssb import SoftwareStoreBuffer
 from repro.isa.program import Program, ThreadCode
+from repro.obs.trace import NULL_TRACER
 from repro.static.verify import VerificationResult, verify_rewrite
 
 __all__ = ["RepairPlan", "LaserRepair"]
@@ -80,10 +81,19 @@ class LaserRepair:
     # Planning
     # ------------------------------------------------------------------
 
-    def plan(self, program: Program, contending_pcs: Set[int]) -> RepairPlan:
-        """Analyze and (if profitable) rewrite every contending thread."""
+    def plan(self, program: Program, contending_pcs: Set[int],
+             tracer=None, cycle: int = 0) -> RepairPlan:
+        """Analyze and (if profitable) rewrite every contending thread.
+
+        ``tracer``/``cycle`` let the caller timestamp the plan/verify
+        lifecycle events (planning has no clock of its own).
+        """
+        tracer = tracer if tracer is not None else NULL_TRACER
         plan = RepairPlan(program, set(contending_pcs))
         self.plans_built += 1
+        if tracer.enabled:
+            tracer.emit("repair.plan", cycle,
+                        contending_pcs=sorted(contending_pcs))
         for tid, code in enumerate(program.threads):
             analysis = analyze_thread(code, plan.contending_pcs)
             if not analysis.has_contention:
@@ -97,12 +107,18 @@ class LaserRepair:
                 plan.new_codes.clear()
                 plan.index_maps.clear()
                 self.plans_rejected += 1
+                if tracer.enabled:
+                    tracer.emit("repair.plan_rejected", cycle, thread=tid,
+                                reason=plan.rejected_reason)
                 return plan
             new_code, index_map = rewrite_thread(code, analysis)
             if self.verify_rewrites:
                 verdict = verify_rewrite(code, analysis, new_code,
                                          index_map, thread=tid)
                 plan.verifier_results[tid] = verdict
+                if tracer.enabled:
+                    tracer.emit("repair.verify", cycle, thread=tid,
+                                ok=verdict.ok, summary=verdict.summary())
                 if not verdict.ok:
                     plan.rejected_reason = (
                         "thread %d: rewrite verification failed: %s"
@@ -113,12 +129,19 @@ class LaserRepair:
                     plan.index_maps.clear()
                     self.plans_rejected += 1
                     self.plans_verifier_rejected += 1
+                    if tracer.enabled:
+                        tracer.emit("repair.plan_rejected", cycle,
+                                    thread=tid,
+                                    reason=plan.rejected_reason)
                     return plan
             plan.new_codes[tid] = new_code
             plan.index_maps[tid] = index_map
         if not plan.new_codes:
             plan.rejected_reason = "no thread contains the contending PCs"
             self.plans_rejected += 1
+            if tracer.enabled:
+                tracer.emit("repair.plan_rejected", cycle,
+                            reason=plan.rejected_reason)
         return plan
 
     # ------------------------------------------------------------------
@@ -140,6 +163,12 @@ class LaserRepair:
             core.ssb = ssb
             buffers.append(ssb)
         self.plans_applied += 1
+        if machine.tracer.enabled:
+            machine.tracer.emit(
+                "repair.attach", machine.cycle,
+                threads=plan.threads_instrumented,
+                min_stores_per_flush=round(plan.min_stores_per_flush(), 3),
+            )
         return buffers
 
     # ------------------------------------------------------------------
@@ -175,6 +204,11 @@ class LaserRepair:
                 plan.program.threads[tid].instructions, inverse
             )
         self.plans_detached += 1
+        if machine.tracer.enabled:
+            machine.tracer.emit(
+                "repair.detach", machine.cycle,
+                threads=plan.threads_instrumented,
+            )
 
 
 def _invert_index_map(index_map: Dict[int, int], new_len: int) -> Dict[int, int]:

@@ -1,9 +1,13 @@
 """Shared run helpers for the experiment harnesses.
 
 The paper presents performance as "the average of 10 runs, after
-excluding the slowest and fastest runs"; we do the same with seeds
-(default 5 runs, trimmed), since seed variation is our analog of
-run-to-run variation.
+excluding the slowest and fastest runs".  We keep the same *averaging
+discipline* (trimmed mean: drop min and max) but default to 5 seeds
+rather than 10 runs — see ``DEFAULT_RUNS`` for the rationale.  Every
+experiment entry point (``run_overhead``, ``run_speedups``,
+``run_sav_sweep``, the bench writer) accepts ``runs`` and threads it
+through to these helpers, so a config that wants the paper's full 10
+can ask for it.
 """
 
 from typing import Callable, List, Optional
@@ -18,11 +22,19 @@ __all__ = [
     "run_built_native",
     "run_laser_on",
     "native_cycles",
+    "laser_cycles",
     "average_cycles",
     "trimmed_mean",
     "DEFAULT_RUNS",
 ]
 
+#: Seeds per measurement.  The paper averages 10 *runs* of a >1 minute
+#: native binary; our analog of run-to-run variation is seed variation
+#: in a simulator whose runs are deterministic per seed, and 5 seeds
+#: (trimmed to the middle 3) already stabilizes the trimmed mean to
+#: well under the 1-2% effects the experiments care about, at half the
+#: suite wall-clock.  Pass ``runs=10`` to any experiment entry point to
+#: reproduce the paper's count exactly.
 DEFAULT_RUNS = 5
 
 
@@ -58,13 +70,31 @@ def trimmed_mean(values: List[float]) -> float:
 
 
 def average_cycles(run: Callable[[int], int], runs: int = DEFAULT_RUNS) -> float:
-    """Trimmed-mean cycles of ``run(seed)`` over ``runs`` seeds."""
+    """Trimmed-mean cycles of ``run(seed)`` over ``runs`` seeds.
+
+    ``runs`` is caller-facing on purpose: experiment configs that want
+    the paper's 10-run averaging (or a quick 3-run smoke) pass it down
+    rather than relying on the module default.
+    """
     return trimmed_mean([float(run(seed)) for seed in range(runs)])
 
 
 def native_cycles(workload: Workload, scale: float = 1.0,
                   runs: int = DEFAULT_RUNS) -> float:
+    """Trimmed-mean native cycles over ``runs`` seeds."""
     return average_cycles(
         lambda seed: run_native(workload, seed=seed, scale=scale).cycles,
+        runs=runs,
+    )
+
+
+def laser_cycles(workload: Workload, scale: float = 1.0,
+                 runs: int = DEFAULT_RUNS,
+                 config: Optional[LaserConfig] = None) -> float:
+    """Trimmed-mean LASER-on cycles over ``runs`` seeds."""
+    return average_cycles(
+        lambda seed: run_laser_on(
+            workload, seed=seed, scale=scale, config=config
+        ).cycles,
         runs=runs,
     )

@@ -1,0 +1,45 @@
+"""Unified run observability: event tracing, windowed metrics, bench.
+
+LASER's whole argument is deployability — an *online* monitor whose
+overhead and decisions must be legible to operators.  This package is
+the measurement layer that makes a run legible:
+
+* :mod:`repro.obs.trace` — a ring-buffered structured event tracer with
+  instrumentation points in the machine, the PMU/driver, the detection
+  pipeline and the repair manager.  Near-zero cost when disabled (one
+  attribute load and a branch per site), seed-deterministic when
+  enabled, exportable as JSONL and as Chrome ``trace_event`` JSON so a
+  run opens directly in Perfetto.
+* :mod:`repro.obs.metrics` — a counters/gauges/histograms registry
+  snapshotted at every detector check interval.
+* :mod:`repro.obs.telemetry` — the per-run bundle: the tracer, the
+  metrics registry and the per-window time series exposed on
+  ``LaserRunResult.telemetry``.
+* :mod:`repro.obs.bench` — the perf snapshot writer behind
+  ``BENCH_obs.json`` (native vs. LASER-on overhead, wall clock and
+  record throughput across the workload suite).
+* ``python -m repro.obs`` — runs any registered workload and prints a
+  phase timeline plus a per-component cycle breakdown (a per-run
+  Figure 12).
+"""
+
+# NOTE: this package is imported by the components it instruments
+# (sim.machine, pebs, detect, repair), so the package init must stay
+# dependency-light: trace/metrics/telemetry only.  The bench writer
+# pulls in workloads + experiments; import it explicitly as
+# ``repro.obs.bench`` (the CLI and CI do).
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.telemetry import RunTelemetry, WindowStats
+from repro.obs.trace import NULL_TRACER, EventTracer, TraceEvent
+
+__all__ = [
+    "TraceEvent",
+    "EventTracer",
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "WindowStats",
+    "RunTelemetry",
+]

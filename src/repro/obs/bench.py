@@ -1,0 +1,209 @@
+"""Perf snapshot writer: the machine-readable trajectory behind PRs.
+
+Runs a suite of workloads native and under LASER and emits a
+schema-versioned ``BENCH_obs.json`` capturing, per workload:
+
+* simulated cycle overhead (LASER-on / native, trimmed mean over seeds
+  — the paper's averaging discipline, see ``experiments.runner``);
+* wall-clock seconds for both modes (host-dependent, informational);
+* detector record throughput (records/sec of wall clock);
+* HITM volume and whether online repair engaged.
+
+The point is longitudinal: every future PR can regenerate the snapshot
+and diff it against the committed one, so "made the hot path faster"
+and "regressed overhead 3x" are both machine-checkable claims instead
+of folklore.  Simulated-cycle fields are seed-deterministic; wall-clock
+fields vary with the host and are excluded from any equality check.
+
+Usage::
+
+    python -m repro.obs.bench --out BENCH_obs.json [--runs N]
+        [--scale F] [--workloads a,b,c]
+"""
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.core.config import LaserConfig
+from repro.experiments.runner import run_laser_on, run_native, trimmed_mean
+from repro.experiments.tables import geomean
+
+__all__ = ["BENCH_SCHEMA", "DEFAULT_BENCH_WORKLOADS", "collect_bench",
+           "write_bench", "diff_bench"]
+
+#: Bump on any backwards-incompatible change to the JSON layout.
+BENCH_SCHEMA = "laser-obs-bench/v1"
+
+#: Fast-but-representative slice of the suite: the two workloads online
+#: repair accelerates, a detector-heavy one, and three contention
+#: shapes (TS-dominant, FS-dominant, mixed).  All complete in seconds.
+DEFAULT_BENCH_WORKLOADS = [
+    "histogram",
+    "histogram'",
+    "kmeans",
+    "linear_regression",
+    "matrix_multiply",
+    "string_match",
+    "word_count",
+]
+
+#: Seed-count for the trimmed mean (3 = min where trimming does work).
+DEFAULT_BENCH_RUNS = 3
+
+
+def _bench_one(name: str, runs: int, scale: float,
+               config: Optional[LaserConfig]) -> Dict:
+    from repro.workloads.registry import get_workload
+
+    workload = get_workload(name)
+    native_cycles: List[float] = []
+    t0 = time.perf_counter()
+    for seed in range(runs):
+        native_cycles.append(
+            float(run_native(workload, seed=seed, scale=scale).cycles)
+        )
+    native_wall = time.perf_counter() - t0
+
+    laser_cycles: List[float] = []
+    records_seen = 0
+    hitm_events = 0
+    repaired = False
+    rolled_back = False
+    t0 = time.perf_counter()
+    laser_results = [
+        run_laser_on(workload, seed=seed, scale=scale, config=config)
+        for seed in range(runs)
+    ]
+    laser_wall = time.perf_counter() - t0
+    for result in laser_results:
+        laser_cycles.append(float(result.cycles))
+        records_seen += result.pipeline.stats.records_seen
+        hitm_events += result.pmu.total_hitm_count
+        repaired = repaired or result.repaired
+        rolled_back = rolled_back or result.rolled_back
+
+    native = trimmed_mean(native_cycles)
+    laser = trimmed_mean(laser_cycles)
+    return {
+        "native_cycles": native,
+        "laser_cycles": laser,
+        "overhead": laser / native if native else 0.0,
+        "native_wall_s": round(native_wall, 4),
+        "laser_wall_s": round(laser_wall, 4),
+        "records_seen": records_seen,
+        "records_per_sec": round(records_seen / laser_wall, 1)
+        if laser_wall > 0 else 0.0,
+        "hitm_events": hitm_events,
+        "repaired": repaired,
+        "rolled_back": rolled_back,
+    }
+
+
+def collect_bench(workload_names: Optional[List[str]] = None,
+                  runs: int = DEFAULT_BENCH_RUNS, scale: float = 1.0,
+                  config: Optional[LaserConfig] = None) -> Dict:
+    """Measure the suite; returns the ``BENCH_obs.json`` document."""
+    names = workload_names or DEFAULT_BENCH_WORKLOADS
+    workloads: Dict[str, Dict] = {}
+    for name in names:
+        workloads[name] = _bench_one(name, runs, scale, config)
+    overheads = [w["overhead"] for w in workloads.values() if w["overhead"]]
+    return {
+        "schema": BENCH_SCHEMA,
+        "config": {
+            "runs": runs,
+            "scale": scale,
+            "seeds": list(range(runs)),
+            "averaging": "trimmed mean (drop min and max)",
+        },
+        "workloads": workloads,
+        "geomean_overhead": geomean(overheads) if overheads else 0.0,
+    }
+
+
+def write_bench(path: str, bench: Optional[Dict] = None, **collect_kwargs) -> Dict:
+    """Collect (unless given) and write the snapshot; returns it."""
+    if bench is None:
+        bench = collect_bench(**collect_kwargs)
+    with open(path, "w") as fh:
+        json.dump(bench, fh, sort_keys=True, indent=1)
+        fh.write("\n")
+    return bench
+
+
+def render_bench(bench: Dict) -> str:
+    """Human-readable summary of one snapshot."""
+    rows = ["%-20s %9s %9s %8s %10s %s"
+            % ("workload", "native", "laser", "overhead", "recs/s", "repaired")]
+    for name in sorted(bench["workloads"]):
+        w = bench["workloads"][name]
+        rows.append(
+            "%-20s %9.0f %9.0f %7.3fx %10.0f %s"
+            % (name, w["native_cycles"], w["laser_cycles"], w["overhead"],
+               w["records_per_sec"], "yes" if w["repaired"] else "")
+        )
+    rows.append("geomean overhead: %.3fx" % bench["geomean_overhead"])
+    return "\n".join(rows)
+
+
+def diff_bench(old: Dict, new: Dict) -> str:
+    """Simulated-cycle drift between two snapshots (wall-clock ignored).
+
+    Simulated fields are seed-deterministic, so any drift here is a
+    real behavior change, not host noise.
+    """
+    rows = []
+    for name in sorted(new["workloads"]):
+        entry = new["workloads"][name]
+        base = old.get("workloads", {}).get(name)
+        if base is None:
+            rows.append("%-20s (not in baseline)" % name)
+            continue
+        for field in ("native_cycles", "laser_cycles"):
+            if entry[field] != base[field]:
+                rows.append(
+                    "%-20s %s: %.0f -> %.0f (%+.2f%%)"
+                    % (name, field, base[field], entry[field],
+                       100.0 * (entry[field] - base[field]) / base[field])
+                )
+    if not rows:
+        return "no simulated-cycle drift vs baseline"
+    return "\n".join(rows)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.bench",
+        description="Write the BENCH_obs.json perf snapshot.",
+    )
+    parser.add_argument("--out", default="BENCH_obs.json",
+                        help="output path (default: %(default)s)")
+    parser.add_argument("--runs", type=int, default=DEFAULT_BENCH_RUNS,
+                        help="seeds per workload (default: %(default)s)")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale factor (default: %(default)s)")
+    parser.add_argument("--workloads", default=None,
+                        help="comma-separated workload names "
+                             "(default: the bench suite)")
+    parser.add_argument("--against", metavar="BASELINE",
+                        help="also print simulated-cycle drift vs a "
+                             "committed baseline snapshot")
+    args = parser.parse_args(argv)
+    names = args.workloads.split(",") if args.workloads else None
+    bench = write_bench(args.out, workload_names=names, runs=args.runs,
+                        scale=args.scale)
+    print(render_bench(bench))
+    print("wrote %s (%d workloads)" % (args.out, len(bench["workloads"])))
+    if args.against:
+        with open(args.against) as fh:
+            baseline = json.load(fh)
+        print("\n-- drift vs %s" % args.against)
+        print(diff_bench(baseline, bench))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,159 @@
+"""Windowed metrics: counters, gauges and histograms with snapshots.
+
+The registry is the queryable side of observability: where the tracer
+answers "what happened, in order", the registry answers "how much, per
+window".  The LASER loop updates these metrics at every detector check
+interval and snapshots the whole registry, producing a time series that
+rides on ``LaserRunResult.telemetry``.
+
+Everything is plain integer/float arithmetic on simulated quantities —
+snapshots of the same seeded run are byte-identical when serialized
+(keys sort, no wall-clock anywhere).
+"""
+
+import json
+from typing import Dict, List, Optional, Sequence, Union
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: Default histogram bucket upper bounds, in "events per simulated
+#: second" — tuned to the HITM-rate magnitudes of the workload suite
+#: (thresholds live at 1K/4K per second).
+DEFAULT_BUCKETS = (100.0, 1_000.0, 4_000.0, 16_000.0, 64_000.0, 256_000.0)
+
+
+class Counter:
+    """Monotonically increasing tally."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        if amount < 0:
+            raise ValueError("counter %s cannot decrease" % self.name)
+        self.value += amount
+
+    def snapshot(self) -> Union[int, float]:
+        return self.value
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: Union[int, float]) -> None:
+        self.value = value
+
+    def snapshot(self) -> Union[int, float]:
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket distribution (cumulative-style, like Prometheus).
+
+    ``counts[i]`` tallies observations ``<= buckets[i]``; the final
+    slot counts overflow beyond the last bound.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "total",
+                 "min_value", "max_value")
+
+    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS):
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be sorted and non-empty")
+        self.name = name
+        self.buckets = tuple(float(b) for b in buckets)
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min_value: Optional[float] = None
+        self.max_value: Optional[float] = None
+
+    def observe(self, value: Union[int, float]) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min_value is None or value < self.min_value:
+            self.min_value = value
+        if self.max_value is None or value > self.max_value:
+            self.max_value = value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min_value,
+            "max": self.max_value,
+            "buckets": {
+                ("le_%g" % bound): self.counts[i]
+                for i, bound in enumerate(self.buckets)
+            },
+            "overflow": self.counts[-1],
+        }
+
+
+class MetricsRegistry:
+    """Name -> metric map with get-or-create accessors and snapshots."""
+
+    def __init__(self):
+        self._metrics: Dict[str, Union[Counter, Gauge, Histogram]] = {}
+
+    def _get(self, name: str, cls, *args):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, *args)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                "metric %r already registered as %s"
+                % (name, type(metric).__name__)
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get(name, Histogram, buckets)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self) -> Dict:
+        """Point-in-time value of every registered metric."""
+        return {
+            name: self._metrics[name].snapshot()
+            for name in sorted(self._metrics)
+        }
+
+    @staticmethod
+    def snapshot_json(snapshot: Dict) -> str:
+        """Canonical (byte-stable) serialization of one snapshot."""
+        return json.dumps(snapshot, sort_keys=True, separators=(",", ":"))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self):
+        return len(self._metrics)

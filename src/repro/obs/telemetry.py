@@ -1,0 +1,213 @@
+"""The per-run telemetry bundle exposed on ``LaserRunResult.telemetry``.
+
+Three views of one run:
+
+* ``windows`` — a typed time series: one :class:`WindowStats` per
+  detector check interval, carrying the window's HITM rate, record
+  flow, component cycle shares and repair state.  This is the
+  time-dimension the ad-hoc end-of-run counters never had: *when* the
+  detector triggered repair, how the HITM rate evolved, where cycles
+  went.
+* ``snapshots`` — the raw metrics-registry snapshot taken at each
+  window close (generic, name-keyed; survives schema drift).
+* ``tracer`` — the structured event stream (see :mod:`repro.obs.trace`).
+
+``render_timeline`` is the operator view: an ASCII phase timeline used
+by ``python -m repro.obs`` and the quickstart example.
+"""
+
+import json
+from typing import Dict, List, Optional
+
+from repro._constants import CYCLES_PER_SECOND
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, EventTracer
+
+__all__ = ["WindowStats", "RunTelemetry"]
+
+_WINDOW_FIELDS = (
+    "index",
+    "start_cycle",
+    "end_cycle",
+    "stalled",
+    "repair_state",
+    "hitm_events",
+    "hitm_rate",
+    "records_seen",
+    "records_admitted",
+    "records_dropped",
+    "detector_cycles",
+    "driver_cycles",
+    "ssb_flushes",
+    "ssb_htm_aborts",
+)
+
+
+class WindowStats:
+    """Deltas observed across one detector check interval."""
+
+    __slots__ = _WINDOW_FIELDS
+
+    def __init__(self, **fields):
+        for name in _WINDOW_FIELDS:
+            setattr(self, name, fields.pop(name))
+        if fields:
+            raise TypeError("unknown WindowStats fields: %s" % sorted(fields))
+
+    @property
+    def duration_cycles(self) -> int:
+        return self.end_cycle - self.start_cycle
+
+    def as_dict(self) -> Dict:
+        return {name: getattr(self, name) for name in _WINDOW_FIELDS}
+
+    def __repr__(self):
+        return "<WindowStats #%d [%d,%d) hitm/s=%.0f %s%s>" % (
+            self.index, self.start_cycle, self.end_cycle, self.hitm_rate,
+            self.repair_state, " STALLED" if self.stalled else "",
+        )
+
+
+#: Glyphs for the timeline's state column.
+_STATE_GLYPHS = {
+    "idle": " ",
+    "attached": "R",
+    "rolled_back": "X",
+}
+
+
+class RunTelemetry:
+    """Tracer + metrics registry + windowed time series for one run."""
+
+    def __init__(self, tracer: Optional[EventTracer] = None,
+                 metrics: Optional[MetricsRegistry] = None):
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.windows: List[WindowStats] = []
+        self.snapshots: List[Dict] = []
+
+    # ------------------------------------------------------------------
+    # Recording (called by the LASER loop at each check interval)
+    # ------------------------------------------------------------------
+
+    def record_window(self, window: WindowStats) -> None:
+        """Append one closed window and snapshot the registry."""
+        self.windows.append(window)
+        snapshot = {"cycle": window.end_cycle}
+        snapshot.update(self.metrics.snapshot())
+        self.snapshots.append(snapshot)
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+
+    @property
+    def window_count(self) -> int:
+        return len(self.windows)
+
+    def series(self, field: str) -> List:
+        """The per-window time series of one :class:`WindowStats` field."""
+        if field not in _WINDOW_FIELDS:
+            raise KeyError(
+                "unknown window field %r (have: %s)"
+                % (field, ", ".join(_WINDOW_FIELDS))
+            )
+        return [getattr(w, field) for w in self.windows]
+
+    def totals(self) -> Dict:
+        """Whole-run sums of the additive window fields."""
+        additive = ("hitm_events", "records_seen", "records_admitted",
+                    "records_dropped", "detector_cycles", "driver_cycles",
+                    "ssb_flushes", "ssb_htm_aborts")
+        return {name: sum(self.series(name)) for name in additive}
+
+    def windows_jsonl(self) -> str:
+        """Canonical per-window serialization (byte-stable per seed)."""
+        return "".join(
+            json.dumps(w.as_dict(), sort_keys=True, separators=(",", ":"))
+            + "\n"
+            for w in self.windows
+        )
+
+    def snapshots_jsonl(self) -> str:
+        """Canonical metrics-snapshot serialization (byte-stable)."""
+        return "".join(
+            MetricsRegistry.snapshot_json(snap) + "\n"
+            for snap in self.snapshots
+        )
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def render_timeline(self, width: int = 32) -> str:
+        """ASCII phase timeline: one row per detection window.
+
+        The bar scales to the run's peak window HITM rate; the state
+        column marks repair attached (``R``), rolled back (``X``) and
+        detector stalls (``S``).
+        """
+        if not self.windows:
+            return "(no detection windows recorded)"
+        peak = max(w.hitm_rate for w in self.windows) or 1.0
+        header = (
+            "win  kcycles         hitm/s  %-*s  recs  drop st"
+            % (width, "rate (peak %.0f/s)" % peak)
+        )
+        rows = [header]
+        for w in self.windows:
+            bar = "#" * int(round(width * w.hitm_rate / peak))
+            state = "S" if w.stalled else _STATE_GLYPHS.get(w.repair_state, "?")
+            span = "%d-%d" % (w.start_cycle // 1000, w.end_cycle // 1000)
+            rows.append(
+                "%3d  %-13s %8.0f  %-*s %5d %5d  %s"
+                % (
+                    w.index, span, w.hitm_rate, width, bar,
+                    w.records_seen, w.records_dropped, state,
+                )
+            )
+        return "\n".join(rows)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def window_counter_events(self) -> List[Dict]:
+        """Per-window Chrome counter tracks (HITM rate, record flow)."""
+        events = []
+        for w in self.windows:
+            events.append({
+                "name": "hitm_rate", "ph": "C", "ts": w.end_cycle,
+                "pid": 3, "tid": 0,
+                "args": {"hitm_per_s": round(w.hitm_rate, 3)},
+            })
+            events.append({
+                "name": "record_flow", "ph": "C", "ts": w.end_cycle,
+                "pid": 3, "tid": 0,
+                "args": {"seen": w.records_seen, "dropped": w.records_dropped},
+            })
+        return events
+
+    def to_chrome_trace(self) -> Dict:
+        """Trace events plus the windowed counter tracks, one document."""
+        return self.tracer.to_chrome_trace(
+            extra_events=self.window_counter_events()
+        )
+
+    def write_chrome_trace(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_chrome_trace(), fh, sort_keys=True, indent=1)
+            fh.write("\n")
+
+    def __repr__(self):
+        return "<RunTelemetry %d windows, %d events%s>" % (
+            len(self.windows), len(self.tracer),
+            "" if self.tracer.enabled else " (tracing off)",
+        )
+
+
+def hitm_rate(events: int, cycles: int) -> float:
+    """HITM events per simulated second over a cycle span."""
+    if cycles <= 0:
+        return 0.0
+    return events * CYCLES_PER_SECOND / cycles

@@ -1,0 +1,256 @@
+"""Structured event tracing for LASER runs.
+
+The tracer is a bounded ring buffer of :class:`TraceEvent` records.
+Design constraints, in order:
+
+1. **Near-zero cost when disabled.**  Every instrumentation site is
+   guarded by ``if tracer.enabled:`` — one attribute load and one branch
+   on the hot path, nothing else.  Disabled tracing charges no simulated
+   cycles and allocates no event objects, so a run with tracing off is
+   bit-identical (in simulated cycles *and* in RNG consumption) to a run
+   without the instrumentation at all.
+2. **Determinism.**  Events are timestamped with the simulated cycle
+   counter, never wall clock, and serialization sorts JSON keys — the
+   same seed and config produce a byte-identical trace.
+3. **Boundedness.**  The ring keeps the most recent ``capacity`` events
+   and counts what it sheds in ``events_dropped`` (an online monitor
+   must not let its own telemetry grow without limit).
+
+Export formats:
+
+* JSONL (one event per line) via :meth:`EventTracer.to_jsonl`;
+* Chrome ``trace_event`` JSON via :meth:`EventTracer.to_chrome_trace`,
+  loadable in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.
+  One simulated cycle maps to one microsecond of trace time (the
+  simulated clock defines ``CYCLES_PER_SECOND = 1_000_000``, so trace
+  seconds equal simulated seconds).
+
+Event names are ``component.event`` strings; the component prefix picks
+the Perfetto process/thread lane (application cores, kernel driver,
+detector/repair).
+"""
+
+import json
+from collections import deque
+from typing import Dict, List, Optional
+
+__all__ = ["TraceEvent", "EventTracer", "NULL_TRACER", "chrome_lane"]
+
+#: Default ring capacity: enough for every event of a tier-1 workload
+#: run with room to spare, small enough to stay bounded on long runs.
+DEFAULT_TRACE_CAPACITY = 65_536
+
+# Perfetto lane assignment: (pid, process name, default tid, tid label).
+_PID_APPLICATION = 1
+_PID_DRIVER = 2
+_PID_DETECTOR = 3
+
+#: tid used for machine-global events inside the application process
+#: (the discrete-event loop itself, as opposed to one core's work).
+_TID_MACHINE = 99
+
+_COMPONENT_PIDS = {
+    "machine": _PID_APPLICATION,
+    "htm": _PID_APPLICATION,
+    "pebs": _PID_APPLICATION,
+    "driver": _PID_DRIVER,
+    "detect": _PID_DETECTOR,
+    "detector": _PID_DETECTOR,
+    "laser": _PID_DETECTOR,
+    "repair": _PID_DETECTOR,
+}
+
+_PROCESS_NAMES = {
+    _PID_APPLICATION: "application (simulated cores)",
+    _PID_DRIVER: "LASER kernel driver",
+    _PID_DETECTOR: "LASER detector + repair",
+}
+
+
+def chrome_lane(name: str, args: Optional[Dict]) -> tuple:
+    """Map an event to its Chrome trace (pid, tid) lane.
+
+    Application-process events land on the core that produced them;
+    machine-global events get their own lane; driver drains land on the
+    core whose buffer drained; detector/repair events share one lane.
+    """
+    component = name.split(".", 1)[0]
+    pid = _COMPONENT_PIDS.get(component, _PID_DETECTOR)
+    if pid is _PID_DETECTOR:
+        return pid, 0
+    if component == "machine":
+        return pid, _TID_MACHINE
+    if args and "core" in args:
+        return pid, args["core"]
+    return pid, 0
+
+
+class TraceEvent:
+    """One structured event: a cycle timestamp, a name, a phase, args.
+
+    ``ph`` follows the Chrome trace_event phase vocabulary: ``"i"``
+    (instant), ``"B"``/``"E"`` (duration begin/end) and ``"C"``
+    (counter).
+    """
+
+    __slots__ = ("cycle", "name", "ph", "args")
+
+    def __init__(self, cycle: int, name: str, ph: str = "i",
+                 args: Optional[Dict] = None):
+        self.cycle = cycle
+        self.name = name
+        self.ph = ph
+        self.args = args
+
+    def as_dict(self) -> Dict:
+        out = {"cycle": self.cycle, "name": self.name, "ph": self.ph}
+        if self.args:
+            out["args"] = self.args
+        return out
+
+    def __repr__(self):
+        return "<TraceEvent %s @%d %r>" % (self.name, self.cycle, self.args)
+
+
+class EventTracer:
+    """Ring-buffered event sink shared by every instrumented component."""
+
+    def __init__(self, capacity: int = DEFAULT_TRACE_CAPACITY,
+                 enabled: bool = True):
+        if capacity < 1:
+            raise ValueError("trace capacity must be >= 1")
+        #: Hot-path guard.  Instrumentation sites test this before
+        #: building argument dicts, so a disabled tracer costs one
+        #: attribute load and one branch per site.
+        self.enabled = enabled
+        self.capacity = capacity
+        self._ring = deque(maxlen=capacity)
+        self.events_emitted = 0
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+
+    def emit(self, name: str, cycle: int, ph: str = "i", **args) -> None:
+        """Record one event (drops the oldest when the ring is full)."""
+        if not self.enabled:
+            return
+        self.events_emitted += 1
+        self._ring.append(TraceEvent(cycle, name, ph, args or None))
+
+    @property
+    def events_dropped(self) -> int:
+        """Events shed by the ring (oldest-first) to stay bounded."""
+        return self.events_emitted - len(self._ring)
+
+    def events(self) -> List[TraceEvent]:
+        """Retained events in emission order."""
+        return list(self._ring)
+
+    def events_named(self, prefix: str) -> List[TraceEvent]:
+        """Retained events whose name starts with ``prefix``."""
+        return [e for e in self._ring if e.name.startswith(prefix)]
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self.events_emitted = 0
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """One deterministic JSON object per line, emission order."""
+        return "".join(
+            json.dumps(event.as_dict(), sort_keys=True,
+                       separators=(",", ":")) + "\n"
+            for event in self._ring
+        )
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_jsonl())
+
+    def to_chrome_trace(self, extra_events: Optional[List[Dict]] = None) -> Dict:
+        """The run as a Chrome ``trace_event`` document.
+
+        ``extra_events`` lets callers (the telemetry bundle) append
+        pre-built trace_event dicts such as per-window counter tracks.
+        """
+        trace_events: List[Dict] = []
+        pids_seen = set()
+        for event in self._ring:
+            pid, tid = chrome_lane(event.name, event.args)
+            pids_seen.add(pid)
+            entry = {
+                "name": event.name,
+                "ph": event.ph,
+                "ts": event.cycle,
+                "pid": pid,
+                "tid": tid,
+            }
+            if event.ph == "i":
+                entry["s"] = "t"  # thread-scoped instant
+            if event.args:
+                entry["args"] = event.args
+            trace_events.append(entry)
+        if extra_events:
+            trace_events.extend(extra_events)
+            for entry in extra_events:
+                pids_seen.add(entry.get("pid", _PID_DETECTOR))
+        metadata = []
+        for pid in sorted(pids_seen):
+            metadata.append({
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": _PROCESS_NAMES.get(pid, "pid %d" % pid)},
+            })
+        if _PID_APPLICATION in pids_seen:
+            metadata.append({
+                "name": "thread_name", "ph": "M",
+                "pid": _PID_APPLICATION, "tid": _TID_MACHINE,
+                "args": {"name": "event loop"},
+            })
+        return {
+            "traceEvents": metadata + trace_events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "clock": "simulated cycles (1 cycle = 1us of trace time)",
+                "events_emitted": self.events_emitted,
+                "events_dropped": self.events_dropped,
+            },
+        }
+
+    def write_chrome_trace(self, path: str,
+                           extra_events: Optional[List[Dict]] = None) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_chrome_trace(extra_events), fh,
+                      sort_keys=True, indent=1)
+            fh.write("\n")
+
+    def __len__(self):
+        return len(self._ring)
+
+    def __repr__(self):
+        return "<EventTracer %s %d/%d events (%d dropped)>" % (
+            "on" if self.enabled else "off",
+            len(self._ring), self.capacity, self.events_dropped,
+        )
+
+
+class _NullTracer(EventTracer):
+    """The shared disabled tracer every component defaults to.
+
+    A distinct type so accidental ``NULL_TRACER.enabled = True`` in one
+    run cannot silently leak events into another: emission is a no-op
+    regardless of the flag.
+    """
+
+    def __init__(self):
+        super().__init__(capacity=1, enabled=False)
+
+    def emit(self, name: str, cycle: int, ph: str = "i", **args) -> None:
+        return None
+
+
+#: Process-wide disabled tracer (never emits, never retains).
+NULL_TRACER = _NullTracer()

@@ -26,6 +26,7 @@ from repro._constants import (
     NUM_CORES,
     PEBS_BUFFER_RECORDS,
 )
+from repro.obs.trace import NULL_TRACER
 from repro.pebs.events import PebsRecord, StrippedRecord
 
 __all__ = ["KernelDriver"]
@@ -38,7 +39,7 @@ class KernelDriver:
                  buffer_records: int = PEBS_BUFFER_RECORDS,
                  interrupt_cost: int = DRIVER_INTERRUPT_COST,
                  outbox_capacity: int = DRIVER_OUTBOX_CAPACITY,
-                 injector=None):
+                 injector=None, tracer=None):
         self.num_cores = num_cores
         self.buffer_records = buffer_records
         self.interrupt_cost = interrupt_cost
@@ -46,6 +47,9 @@ class KernelDriver:
         #: Optional :class:`repro.faults.FaultInjector`; hosts the
         #: ``driver.outbox_overflow`` site.
         self.injector = injector
+        #: Event tracer (``repro.obs.trace``); emits ``driver.drain``
+        #: per buffer drain and ``driver.outbox_drop`` on overflow.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._core_buffers: List[List[PebsRecord]] = [[] for _ in range(num_cores)]
         self._outbox: List[StrippedRecord] = []
         self.interrupts = 0
@@ -74,12 +78,25 @@ class KernelDriver:
             return
         overflow = (self.injector is not None
                     and self.injector.fires("driver.outbox_overflow"))
+        dropped_before = self.records_dropped
         for rec in buffer:
             if overflow or len(self._outbox) >= self.outbox_capacity:
                 self.records_dropped += 1
             else:
                 self._outbox.append(StrippedRecord.from_pebs(rec))
                 self.records_forwarded += 1
+        if self.tracer.enabled:
+            # The drain happens at the interrupt that the last-delivered
+            # record raised; its TSC is the drain's timestamp.
+            cycle = buffer[-1].cycle
+            dropped = self.records_dropped - dropped_before
+            self.tracer.emit("driver.drain", cycle, core=core,
+                             drained=len(buffer), dropped=dropped,
+                             outbox=len(self._outbox))
+            if dropped:
+                self.tracer.emit("driver.outbox_drop", cycle, core=core,
+                                 dropped=dropped,
+                                 capacity=self.outbox_capacity)
         buffer.clear()
 
     # ------------------------------------------------------------------

@@ -15,6 +15,7 @@ driver's per-core buffers.
 from typing import List
 
 from repro._constants import NUM_CORES, PEBS_RECORD_COST
+from repro.obs.trace import NULL_TRACER
 from repro.pebs.events import PebsRecord
 from repro.pebs.imprecision import ImprecisionModel
 
@@ -33,6 +34,7 @@ class PerformanceMonitoringUnit:
         record_cost: int = PEBS_RECORD_COST,
         pebs_enabled: bool = True,
         injector=None,
+        tracer=None,
     ):
         if sample_after_value < 1:
             raise ValueError("SAV must be >= 1")
@@ -45,6 +47,9 @@ class PerformanceMonitoringUnit:
         #: Optional :class:`repro.faults.FaultInjector`; hosts the
         #: ``pebs.record_drop`` and ``pebs.record_corrupt`` sites.
         self.injector = injector
+        #: Event tracer (``repro.obs.trace``); emits ``pebs.sample``
+        #: whenever the microcode assist materializes a record.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.hitm_counts: List[int] = [0] * num_cores
         self.records_generated = 0
 
@@ -71,6 +76,11 @@ class PerformanceMonitoringUnit:
             store_triggered=is_write,
         )
         self.records_generated += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "pebs.sample", cycle, core=core, pc=record.pc,
+                data_addr=record.data_addr, store=is_write,
+            )
         extra = self.record_cost
         if self.injector is not None:
             if self.injector.fires("pebs.record_drop"):

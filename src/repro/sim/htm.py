@@ -17,6 +17,7 @@ from typing import Iterable, List, Tuple
 
 from repro._constants import CACHE_LINE_SIZE, L1_ASSOCIATIVITY
 from repro.errors import HtmAbort
+from repro.obs.trace import NULL_TRACER
 from repro.sim.coherence import CoherenceDirectory
 from repro.sim.memory import Memory
 
@@ -30,13 +31,18 @@ class HardwareTransactionalMemory:
     """Executes atomic write sets against memory + coherence."""
 
     def __init__(self, memory: Memory, directory: CoherenceDirectory,
-                 capacity_lines: int = L1_ASSOCIATIVITY, injector=None):
+                 capacity_lines: int = L1_ASSOCIATIVITY, injector=None,
+                 tracer=None, clock=None):
         self.memory = memory
         self.directory = directory
         self.capacity_lines = capacity_lines
         #: Optional :class:`repro.faults.FaultInjector`; hosts the
         #: ``htm.abort`` site (conflict abort storms).
         self.injector = injector
+        #: Event tracer + cycle source for the begin/commit/abort
+        #: events (the machine wires its own clock in).
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.clock = clock or (lambda: self.directory.now)
         self.commits = 0
         self.aborts = 0
 
@@ -48,13 +54,21 @@ class HardwareTransactionalMemory:
         back completely).
         """
         writes = list(writes)
+        tracer = self.tracer
+        traced = tracer.enabled
         lines = set()
         for addr, _value, size in writes:
             first = addr // CACHE_LINE_SIZE
             last = (addr + size - 1) // CACHE_LINE_SIZE
             lines.update(range(first, last + 1))
+        if traced:
+            tracer.emit("htm.begin", self.clock(), core=core,
+                        writes=len(writes), lines=len(lines))
         if len(lines) > self.capacity_lines:
             self.aborts += 1
+            if traced:
+                tracer.emit("htm.abort", self.clock(), core=core,
+                            reason="capacity", lines=len(lines))
             raise HtmAbort(
                 "capacity: %d lines > %d ways" % (len(lines), self.capacity_lines),
                 conflict_line=max(lines) if lines else None,
@@ -62,6 +76,9 @@ class HardwareTransactionalMemory:
             )
         if self.injector is not None and self.injector.fires("htm.abort"):
             self.aborts += 1
+            if traced:
+                tracer.emit("htm.abort", self.clock(), core=core,
+                            reason="conflict", lines=len(lines))
             raise HtmAbort(
                 "conflict: injected remote access to the write set",
                 conflict_line=min(lines) if lines else None,
@@ -73,6 +90,10 @@ class HardwareTransactionalMemory:
             latency += result.latency
             self.memory.write(addr, value, size)
         self.commits += 1
+        if traced:
+            tracer.emit("htm.commit", self.clock(), core=core,
+                        writes=len(writes), lines=len(lines),
+                        latency=latency)
         return latency
 
     @staticmethod

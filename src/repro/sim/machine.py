@@ -17,6 +17,7 @@ from typing import Callable, List, Optional
 from repro._constants import NUM_CORES
 from repro.errors import SimulationError
 from repro.isa.program import Program
+from repro.obs.trace import NULL_TRACER
 from repro.rng import RngStreams
 from repro.sim.allocator import Allocator
 from repro.sim.coherence import CoherenceDirectory
@@ -79,6 +80,7 @@ class Machine:
         jitter: bool = True,
         allocator: Optional[Allocator] = None,
         fault_injector=None,
+        tracer=None,
     ):
         if program.num_threads > num_cores:
             raise SimulationError(
@@ -95,8 +97,13 @@ class Machine:
         #: Optional :class:`repro.faults.FaultInjector` shared by the
         #: fault-hosting components of this machine (currently the HTM).
         self.fault_injector = fault_injector
+        #: Structured event tracer (``repro.obs.trace``); the shared
+        #: NULL_TRACER when observability is off, so instrumentation
+        #: sites can test ``tracer.enabled`` unconditionally.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.htm = HardwareTransactionalMemory(
-            self.memory, self.directory, injector=fault_injector
+            self.memory, self.directory, injector=fault_injector,
+            tracer=self.tracer, clock=lambda: self.cycle,
         )
         self.cores: List[Core] = []
         for tid, thread in enumerate(program.threads):
@@ -200,12 +207,18 @@ class Machine:
         ready = self._ready
         jitter_rng = self._jitter_rng
         use_jitter = self.jitter
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit("machine.slice", self.cycle, ph="B",
+                        until=until_cycle)
         limit = min(until_cycle, max_cycles) if until_cycle is not None else max_cycles
         while ready:
             time = ready[0][0]
             if time > limit:
                 self.cycle = time
                 if until_cycle is not None and time <= max_cycles:
+                    if tracer.enabled:
+                        tracer.emit("machine.slice", time, ph="E")
                     return RunResult(self, time, finished=False)
                 raise SimulationError(
                     "machine exceeded max_cycles=%d (livelock?)" % max_cycles
@@ -222,6 +235,8 @@ class Machine:
             else:
                 self._finish_time = max(self._finish_time, next_time)
         self.cycle = max(self.cycle, self._finish_time)
+        if tracer.enabled:
+            tracer.emit("machine.slice", self.cycle, ph="E", finished=True)
         return RunResult(self, self.cycle, finished=True)
 
     @property

@@ -1,0 +1,378 @@
+"""Observability: event tracing, windowed metrics, telemetry, bench.
+
+The load-bearing guarantees under test:
+
+* determinism — same seed + config produce byte-identical trace JSONL
+  and metrics snapshots;
+* isolation — tracing observes, it never perturbs: simulated cycles are
+  identical with tracing on, off, or ring-starved;
+* boundedness — the ring sheds oldest events and accounts for them;
+* near-zero disabled cost — the per-site guard budget stays under 2%
+  of run wall-clock.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.core.config import LaserConfig
+from repro.core.laser import Laser
+from repro.obs import (
+    NULL_TRACER,
+    Counter,
+    EventTracer,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    RunTelemetry,
+    WindowStats,
+)
+from repro.obs.trace import chrome_lane
+from repro.workloads.registry import get_workload
+
+pytestmark = pytest.mark.obs
+
+_SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+
+
+def traced_run(name="linear_regression", seed=0, **overrides):
+    overrides.setdefault("trace_enabled", True)
+    config = LaserConfig(seed=seed, **overrides)
+    return Laser(config).run_workload(get_workload(name))
+
+
+@pytest.fixture(scope="module")
+def traced():
+    """One traced linear_regression run shared by the read-only tests."""
+    return traced_run()
+
+
+def make_window(index=0, start=0, end=50_000, **overrides):
+    fields = dict(
+        index=index, start_cycle=start, end_cycle=end, stalled=False,
+        repair_state="idle", hitm_events=10, hitm_rate=200.0,
+        records_seen=5, records_admitted=5, records_dropped=0,
+        detector_cycles=100, driver_cycles=50, ssb_flushes=0,
+        ssb_htm_aborts=0,
+    )
+    fields.update(overrides)
+    return WindowStats(**fields)
+
+
+class TestTracerUnit:
+    def test_ring_sheds_oldest_and_accounts_for_drops(self):
+        tracer = EventTracer(capacity=4)
+        for i in range(10):
+            tracer.emit("x.e", cycle=i)
+        assert len(tracer) == 4
+        assert tracer.events_emitted == 10
+        assert tracer.events_dropped == 6
+        assert [e.cycle for e in tracer.events()] == [6, 7, 8, 9]
+
+    def test_null_tracer_never_emits_even_if_reenabled(self):
+        NULL_TRACER.enabled = True
+        try:
+            NULL_TRACER.emit("x.e", cycle=1)
+        finally:
+            NULL_TRACER.enabled = False
+        assert len(NULL_TRACER) == 0
+        assert NULL_TRACER.events_emitted == 0
+
+    def test_jsonl_is_canonical(self):
+        tracer = EventTracer()
+        tracer.emit("b.second", cycle=2, zeta=1, alpha=2)
+        lines = tracer.to_jsonl().splitlines()
+        assert lines == [
+            '{"args":{"alpha":2,"zeta":1},"cycle":2,"name":"b.second","ph":"i"}'
+        ]
+
+    def test_chrome_lanes_split_by_component(self):
+        assert chrome_lane("pebs.sample", {"core": 3}) == (1, 3)
+        assert chrome_lane("machine.slice", None) == (1, 99)
+        assert chrome_lane("driver.drain", {"core": 1}) == (2, 1)
+        assert chrome_lane("repair.attach", None) == (3, 0)
+        assert chrome_lane("laser.run_begin", None) == (3, 0)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EventTracer(capacity=0)
+
+
+class TestMetricsUnit:
+    def test_counter_rejects_decrease(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("a")
+        counter.inc(3)
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+        assert counter.snapshot() == 3
+
+    def test_kind_clash_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(TypeError):
+            registry.gauge("a")
+
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert len(registry) == 1
+
+    def test_histogram_buckets_and_stats(self):
+        hist = Histogram("h", buckets=(10.0, 100.0))
+        for value in (5, 50, 500, 7):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["count"] == 4
+        assert snap["buckets"] == {"le_10": 2, "le_100": 1}
+        assert snap["overflow"] == 1
+        assert snap["min"] == 5.0 and snap["max"] == 500.0
+        assert hist.mean == pytest.approx(140.5)
+
+    def test_snapshot_is_byte_stable(self):
+        registry = MetricsRegistry()
+        registry.gauge("z").set(1.5)
+        registry.counter("a").inc()
+        first = MetricsRegistry.snapshot_json(registry.snapshot())
+        second = MetricsRegistry.snapshot_json(registry.snapshot())
+        assert first == second == '{"a":1,"z":1.5}'
+
+
+class TestTelemetryUnit:
+    def test_series_and_totals(self):
+        telemetry = RunTelemetry()
+        telemetry.record_window(make_window(0, 0, 50_000, hitm_events=4))
+        telemetry.record_window(
+            make_window(1, 50_000, 100_000, hitm_events=6)
+        )
+        assert telemetry.series("hitm_events") == [4, 6]
+        assert telemetry.totals()["hitm_events"] == 10
+        with pytest.raises(KeyError):
+            telemetry.series("no_such_field")
+
+    def test_window_rejects_unknown_fields(self):
+        with pytest.raises(TypeError):
+            make_window(bogus=1)
+
+    def test_timeline_marks_states(self):
+        telemetry = RunTelemetry()
+        telemetry.record_window(make_window(0, repair_state="attached"))
+        telemetry.record_window(
+            make_window(1, 50_000, 100_000, stalled=True)
+        )
+        timeline = telemetry.render_timeline()
+        lines = timeline.splitlines()
+        assert len(lines) == 3  # header + two windows
+        assert lines[1].rstrip().endswith("R")
+        assert lines[2].rstrip().endswith("S")
+
+    def test_empty_timeline_renders_placeholder(self):
+        assert "no detection windows" in RunTelemetry().render_timeline()
+
+
+class TestRunDeterminism:
+    def test_same_seed_same_bytes(self, traced):
+        again = traced_run()
+        assert (traced.telemetry.tracer.to_jsonl()
+                == again.telemetry.tracer.to_jsonl())
+        assert (traced.telemetry.windows_jsonl()
+                == again.telemetry.windows_jsonl())
+        assert (traced.telemetry.snapshots_jsonl()
+                == again.telemetry.snapshots_jsonl())
+
+    def test_different_seed_different_trace(self, traced):
+        other = traced_run(seed=1)
+        assert (traced.telemetry.tracer.to_jsonl()
+                != other.telemetry.tracer.to_jsonl())
+
+    def test_tracing_never_perturbs_the_simulation(self, traced):
+        untraced = traced_run(trace_enabled=False)
+        assert untraced.cycles == traced.cycles
+        assert (untraced.pmu.total_hitm_count
+                == traced.pmu.total_hitm_count)
+        assert untraced.repaired == traced.repaired
+        assert len(untraced.telemetry.tracer) == 0
+        assert untraced.telemetry.tracer.events_emitted == 0
+
+    def test_starved_ring_still_identical_cycles(self, traced):
+        starved = traced_run(trace_capacity=8)
+        assert starved.cycles == traced.cycles
+        assert len(starved.telemetry.tracer) == 8
+        assert starved.telemetry.tracer.events_dropped > 0
+        assert (starved.telemetry.tracer.events_emitted
+                == traced.telemetry.tracer.events_emitted)
+
+
+class TestRunTraceContent:
+    def test_lifecycle_events_present(self, traced):
+        tracer = traced.telemetry.tracer
+        names = {e.name for e in tracer.events()}
+        assert "laser.run_begin" in names
+        assert "laser.run_end" in names
+        assert "pebs.sample" in names
+        assert "driver.drain" in names
+        assert "detect.window_roll" in names
+        assert "detect.line_over_threshold" in names
+        # linear_regression's false sharing gets repaired (Figure 11).
+        assert "repair.plan" in names
+        assert "repair.attach" in names
+        # the attached SSB flushes through HTM transactions
+        assert "htm.begin" in names
+        assert "htm.commit" in names
+
+    def test_cycles_are_monotonic_where_ordered(self, traced):
+        tracer = traced.telemetry.tracer
+        rolls = [e.cycle for e in tracer.events_named("detect.window_roll")]
+        assert rolls and rolls == sorted(rolls)
+        # drains are stamped with each core's last buffered record, so
+        # they are monotonic per core (not across cores within a poll)
+        per_core = {}
+        for event in tracer.events_named("driver.drain"):
+            per_core.setdefault(event.args["core"], []).append(event.cycle)
+        assert per_core
+        for cycles in per_core.values():
+            assert cycles == sorted(cycles)
+
+    def test_windows_are_contiguous(self, traced):
+        windows = traced.telemetry.windows
+        assert windows
+        for previous, window in zip(windows, windows[1:]):
+            assert window.start_cycle == previous.end_cycle
+            assert window.index == previous.index + 1
+        for window in windows:
+            expected = (window.hitm_events * 1_000_000
+                        / window.duration_cycles)
+            assert window.hitm_rate == pytest.approx(expected)
+
+    def test_repair_state_transitions_to_attached(self, traced):
+        states = traced.telemetry.series("repair_state")
+        assert states[0] == "idle"
+        assert "attached" in states
+
+    def test_snapshots_track_windows(self, traced):
+        telemetry = traced.telemetry
+        assert len(telemetry.snapshots) == telemetry.window_count
+        last = telemetry.snapshots[-1]
+        assert last["hitm.events"] == telemetry.totals()["hitm_events"]
+        assert last["records.seen"] == telemetry.totals()["records_seen"]
+
+    def test_chrome_trace_structure(self, traced):
+        doc = traced.telemetry.to_chrome_trace()
+        events = doc["traceEvents"]
+        assert events
+        json.dumps(doc)  # must serialize
+        metadata = [e for e in events if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in metadata
+                 if e["name"] == "process_name"}
+        assert "LASER kernel driver" in names
+        assert "LASER detector + repair" in names
+        counters = [e for e in events if e["ph"] == "C"]
+        assert {c["name"] for c in counters} >= {"hitm_rate", "record_flow"}
+        instants = [e for e in events if e["ph"] == "i"]
+        assert all(e.get("s") == "t" for e in instants)
+
+
+class TestRunHealthSurfacing:
+    def test_info_fields_do_not_degrade(self, traced):
+        health = traced.health
+        assert "undecodable_pcs" in health._FIELDS
+        assert "records_pending_at_exit" in health._FIELDS
+        assert health.undecodable_pcs >= 0
+        assert health.records_pending_at_exit >= 0
+        assert not health.degraded
+
+    def test_info_fields_show_in_summary(self):
+        from repro.core.laser import RunHealth
+
+        health = RunHealth()
+        health.undecodable_pcs = 3
+        assert not health.degraded
+        assert "undecodable_pcs=3" in health.summary()
+
+
+class TestDisabledOverhead:
+    def test_guard_budget_under_two_percent(self, traced):
+        """Disabled tracing costs one attribute load + branch per site.
+
+        Bound it: (guard executions, measured as events emitted by the
+        traced twin) x (measured per-guard cost) must stay under 2% of
+        the untraced run's wall-clock.
+        """
+        emitted = traced.telemetry.tracer.events_emitted
+        assert emitted > 0
+
+        tracer = NULL_TRACER
+        iterations = 200_000
+        t0 = time.perf_counter()
+        for _ in range(iterations):
+            if tracer.enabled:  # pragma: no cover - never taken
+                raise AssertionError
+        per_guard = (time.perf_counter() - t0) / iterations
+
+        t0 = time.perf_counter()
+        traced_run(trace_enabled=False)
+        run_wall = time.perf_counter() - t0
+
+        assert emitted * per_guard < 0.02 * run_wall
+
+
+class TestCliAndBench:
+    def _run(self, *argv):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (_SRC, env.get("PYTHONPATH")) if p
+        )
+        return subprocess.run(
+            [sys.executable, *argv], capture_output=True, text=True,
+            env=env, timeout=300,
+        )
+
+    def test_obs_cli_smoke(self):
+        proc = self._run("-m", "repro.obs", "--smoke")
+        assert proc.returncode == 0, proc.stderr
+        assert "smoke ok" in proc.stdout
+        assert "phase timeline" in proc.stdout
+        assert "cycle breakdown" in proc.stdout
+
+    def test_obs_cli_writes_trace(self, tmp_path):
+        trace = tmp_path / "trace.json"
+        jsonl = tmp_path / "events.jsonl"
+        proc = self._run(
+            "-m", "repro.obs", "linear_regression",
+            "--trace", str(trace), "--jsonl", str(jsonl),
+        )
+        assert proc.returncode == 0, proc.stderr
+        doc = json.loads(trace.read_text())
+        assert doc["traceEvents"]
+        lines = jsonl.read_text().splitlines()
+        assert lines
+        assert all(json.loads(line)["name"] for line in lines)
+
+    def test_collect_bench_schema(self):
+        from repro.obs.bench import BENCH_SCHEMA, collect_bench
+
+        bench = collect_bench(["histogram'"], runs=3)
+        assert bench["schema"] == BENCH_SCHEMA
+        assert bench["config"]["runs"] == 3
+        entry = bench["workloads"]["histogram'"]
+        for key in ("native_cycles", "laser_cycles", "overhead",
+                    "records_per_sec", "hitm_events", "repaired"):
+            assert key in entry
+        assert entry["overhead"] > 0
+        assert bench["geomean_overhead"] > 0
+
+    def test_bench_cycles_deterministic(self):
+        from repro.obs.bench import collect_bench
+
+        first = collect_bench(["histogram'"], runs=3)
+        second = collect_bench(["histogram'"], runs=3)
+        a = first["workloads"]["histogram'"]
+        b = second["workloads"]["histogram'"]
+        # simulated fields are seed-deterministic; wall-clock is not
+        assert a["native_cycles"] == b["native_cycles"]
+        assert a["laser_cycles"] == b["laser_cycles"]
+        assert a["hitm_events"] == b["hitm_events"]
