@@ -36,6 +36,10 @@ def main():
     print("under LASER:       %8d cycles  (%.2fx native, repaired=%s)" % (
         result.cycles, result.cycles / native.cycles, result.repaired))
     print("run health:        %s" % result.health.summary())
+    # Crash-recovery accounting (repro.resilience): on a healthy run
+    # the checkpoints are pure insurance — everything else stays zero.
+    print("%s" % result.health.recovery_summary().replace(
+        "recovery:", "recovery:         ", 1))
 
     # The telemetry time series shows the repair working: the HITM
     # rate is high until the detector crosses its threshold, repair

@@ -42,6 +42,12 @@ class LaserConfig:
         verify_repairs: bool = True,
         trace_enabled: bool = False,
         trace_capacity: int = 65_536,
+        resilience_enabled: bool = True,
+        checkpoint_every_windows: int = 1,
+        restart_backoff_intervals: int = 1,
+        restart_backoff_max: int = 8,
+        restart_jitter: float = 0.0,
+        max_component_restarts: int = 3,
     ):
         if sample_after_value < 1:
             raise ValueError("SAV must be >= 1")
@@ -59,6 +65,14 @@ class LaserConfig:
             raise ValueError("htm_abort_fallback_threshold must be >= 1")
         if trace_capacity < 1:
             raise ValueError("trace_capacity must be >= 1")
+        if checkpoint_every_windows < 1:
+            raise ValueError("checkpoint_every_windows must be >= 1")
+        if restart_backoff_intervals < 1 or restart_backoff_max < 1:
+            raise ValueError("restart backoff intervals must be >= 1")
+        if restart_jitter < 0.0:
+            raise ValueError("restart_jitter must be >= 0")
+        if max_component_restarts < 0:
+            raise ValueError("max_component_restarts must be >= 0")
         #: PEBS Sample-After Value; 19 is the paper's default (a prime,
         #: per the PEBS experience reports it cites).
         self.sample_after_value = sample_after_value
@@ -116,6 +130,23 @@ class LaserConfig:
         #: Ring-buffer bound on retained trace events; the tracer sheds
         #: oldest-first beyond this and counts ``events_dropped``.
         self.trace_capacity = trace_capacity
+        #: Crash recovery (``repro.resilience``): write-ahead record
+        #: journal, checkpoint/restore and supervised restarts.  On by
+        #: default — like tracing, resilience observes and never charges
+        #: simulated cycles, so a run with no crash faults is
+        #: bit-identical either way.
+        self.resilience_enabled = resilience_enabled
+        #: Checkpoint cadence, in detection windows (check intervals).
+        self.checkpoint_every_windows = checkpoint_every_windows
+        #: First supervisor restart delay, in check intervals...
+        self.restart_backoff_intervals = restart_backoff_intervals
+        #: ...doubling per consecutive crash up to this cap.
+        self.restart_backoff_max = restart_backoff_max
+        #: Seeded-jitter fraction widening each restart delay (0 = none).
+        self.restart_jitter = restart_jitter
+        #: Restart budget per component before the circuit breaker
+        #: trips and the run degrades (detection-only, then passthrough).
+        self.max_component_restarts = max_component_restarts
 
     def replace(self, **kwargs) -> "LaserConfig":
         """Return a copy with some fields overridden."""
@@ -140,6 +171,12 @@ class LaserConfig:
             verify_repairs=self.verify_repairs,
             trace_enabled=self.trace_enabled,
             trace_capacity=self.trace_capacity,
+            resilience_enabled=self.resilience_enabled,
+            checkpoint_every_windows=self.checkpoint_every_windows,
+            restart_backoff_intervals=self.restart_backoff_intervals,
+            restart_backoff_max=self.restart_backoff_max,
+            restart_jitter=self.restart_jitter,
+            max_component_restarts=self.max_component_restarts,
         )
         fields.update(kwargs)
         return LaserConfig(**fields)

@@ -112,6 +112,40 @@ class LineAggregator:
             )
         self._window_cycles_accumulated = 0
 
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot (checkpoint payload)."""
+        return {
+            "unresolved_pcs": self.unresolved_pcs,
+            "window_cycles_accumulated": self._window_cycles_accumulated,
+            "lines": [
+                {
+                    "file": stats.location.file,
+                    "line": stats.location.line,
+                    "record_count": stats.record_count,
+                    "pcs": sorted(stats.pcs.items()),
+                    "peak_window_rate": stats.peak_window_rate,
+                    "window_start_count": stats._window_start_count,
+                }
+                for stats in sorted(
+                    self._lines.values(),
+                    key=lambda s: (s.location.file, s.location.line),
+                )
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.unresolved_pcs = state["unresolved_pcs"]
+        self._window_cycles_accumulated = state["window_cycles_accumulated"]
+        self._lines = {}
+        for entry in state["lines"]:
+            loc = SourceLocation(entry["file"], entry["line"])
+            stats = LineStats(loc)
+            stats.record_count = entry["record_count"]
+            stats.pcs = {pc: count for pc, count in entry["pcs"]}
+            stats.peak_window_rate = entry["peak_window_rate"]
+            stats._window_start_count = entry["window_start_count"]
+            self._lines[loc] = stats
+
     def lines_above_threshold(self, duration_cycles: int,
                               rate_threshold: float) -> List[LineStats]:
         """Source lines whose HITM rate meets the threshold, hottest first."""

@@ -87,6 +87,28 @@ class CacheLineModel:
         info.fs_events += 1
         return SharingType.FALSE_SHARING
 
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot (checkpoint payload)."""
+        return {
+            "ts_events": self.ts_events,
+            "fs_events": self.fs_events,
+            "lines": [
+                [line, info.bitmap, 1 if info.was_write else 0,
+                 info.ts_events, info.fs_events]
+                for line, info in sorted(self._lines.items())
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.ts_events = state["ts_events"]
+        self.fs_events = state["fs_events"]
+        self._lines = {}
+        for line, bitmap, was_write, ts_events, fs_events in state["lines"]:
+            info = _LineInfo(bitmap, bool(was_write))
+            info.ts_events = ts_events
+            info.fs_events = fs_events
+            self._lines[line] = info
+
     def previous_access(self, addr: int) -> Optional[Tuple[int, bool]]:
         """(bitmap, was_write) of the tracked line, for introspection."""
         info = self._lines.get(addr // CACHE_LINE_SIZE)

@@ -130,6 +130,72 @@ class DetectionPipeline:
             )
 
     # ------------------------------------------------------------------
+    # Checkpoint/restore (``repro.resilience``)
+    # ------------------------------------------------------------------
+
+    def reset_state(self) -> None:
+        """Discard all accumulated state (checkpoint-less cold start).
+
+        Leaves the pure-function stages (filter, load/store sets) alone
+        and reinitializes everything :meth:`state_dict` would capture;
+        the caller then replays the journal from seq 0.
+        """
+        self.stats = PipelineStats()
+        self.aggregator = LineAggregator(self.program, self.sample_after_value)
+        self.line_model = CacheLineModel()
+        self._lines_reported = set()
+        self._sharing_by_line = {}
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of all mutable pipeline state.
+
+        The filter and the load/store sets are pure functions of the
+        program and memory map, so only the accumulated statistics are
+        captured.  Collections are emitted in sorted order so the same
+        state always encodes to the same bytes (the checkpoint CRC is
+        meaningful).
+        """
+        return {
+            "stats": {
+                "records_seen": self.stats.records_seen,
+                "records_admitted": self.stats.records_admitted,
+                "undecodable_pcs": self.stats.undecodable_pcs,
+                "detector_cycles": self.stats.detector_cycles,
+            },
+            "aggregator": self.aggregator.state_dict(),
+            "line_model": self.line_model.state_dict(),
+            "sharing_by_line": [
+                [loc.file, loc.line, counts[0], counts[1]]
+                for loc, counts in sorted(
+                    self._sharing_by_line.items(),
+                    key=lambda item: (item[0].file, item[0].line),
+                )
+            ],
+            "lines_reported": [
+                [loc.file, loc.line]
+                for loc in sorted(self._lines_reported,
+                                  key=lambda l: (l.file, l.line))
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        stats = state["stats"]
+        self.stats.records_seen = stats["records_seen"]
+        self.stats.records_admitted = stats["records_admitted"]
+        self.stats.undecodable_pcs = stats["undecodable_pcs"]
+        self.stats.detector_cycles = stats["detector_cycles"]
+        self.aggregator.load_state_dict(state["aggregator"])
+        self.line_model.load_state_dict(state["line_model"])
+        self._sharing_by_line = {
+            SourceLocation(file, line): [ts, fs]
+            for file, line, ts, fs in state["sharing_by_line"]
+        }
+        self._lines_reported = {
+            SourceLocation(file, line)
+            for file, line in state["lines_reported"]
+        }
+
+    # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
 

@@ -30,6 +30,11 @@ class RepairPlan:
         self.analyses: Dict[int, ThreadRepairAnalysis] = {}
         self.new_codes: Dict[int, ThreadCode] = {}
         self.index_maps: Dict[int, Dict[int, int]] = {}
+        #: Instrumented-code length per thread.  Kept separately from
+        #: ``new_codes`` because a plan reconstructed from serialized
+        #: attached state (crash recovery) has the lengths and index
+        #: maps — everything detach needs — but not the code objects.
+        self.new_code_lens: Dict[int, int] = {}
         self.rejected_reason: Optional[str] = None
         #: Per-thread rewrite-verifier outcomes (``static/verify.py``);
         #: populated for every rewritten thread when verification is on.
@@ -49,7 +54,49 @@ class RepairPlan:
 
     @property
     def threads_instrumented(self) -> List[int]:
-        return sorted(self.new_codes)
+        return sorted(self.index_maps)
+
+    def new_code_len(self, tid: int) -> int:
+        """Instrumented instruction count for one rewritten thread."""
+        if tid in self.new_code_lens:
+            return self.new_code_lens[tid]
+        return len(self.new_codes[tid].instructions)
+
+    # ------------------------------------------------------------------
+    # Crash-recovery serialization (``repro.resilience``)
+    # ------------------------------------------------------------------
+
+    def attached_state(self) -> dict:
+        """JSON-serializable record of an *attached* plan.
+
+        Captures exactly what a recovered detector needs to keep
+        supervising (and eventually detach) instrumentation that is
+        already live in the machine: the threads, their index maps and
+        instrumented code lengths.  The rewritten code itself lives in
+        the machine and survives a detector crash.
+        """
+        return {
+            "contending_pcs": sorted(self.contending_pcs),
+            "threads": [
+                {
+                    "tid": tid,
+                    "index_map": sorted(self.index_maps[tid].items()),
+                    "new_len": self.new_code_len(tid),
+                }
+                for tid in self.threads_instrumented
+            ],
+        }
+
+    @classmethod
+    def from_attached_state(cls, program: Program,
+                            state: dict) -> "RepairPlan":
+        """Rebuild a detachable plan from serialized attached state."""
+        plan = cls(program, set(state["contending_pcs"]))
+        for entry in state["threads"]:
+            tid = entry["tid"]
+            plan.index_maps[tid] = {old: new for old, new in entry["index_map"]}
+            plan.new_code_lens[tid] = entry["new_len"]
+        return plan
 
     def min_stores_per_flush(self) -> float:
         ratios = [
@@ -106,6 +153,7 @@ class LaserRepair:
                 )
                 plan.new_codes.clear()
                 plan.index_maps.clear()
+                plan.new_code_lens.clear()
                 self.plans_rejected += 1
                 if tracer.enabled:
                     tracer.emit("repair.plan_rejected", cycle, thread=tid,
@@ -127,6 +175,7 @@ class LaserRepair:
                     plan.verifier_rejected = True
                     plan.new_codes.clear()
                     plan.index_maps.clear()
+                    plan.new_code_lens.clear()
                     self.plans_rejected += 1
                     self.plans_verifier_rejected += 1
                     if tracer.enabled:
@@ -136,6 +185,7 @@ class LaserRepair:
                     return plan
             plan.new_codes[tid] = new_code
             plan.index_maps[tid] = index_map
+            plan.new_code_lens[tid] = len(new_code.instructions)
         if not plan.new_codes:
             plan.rejected_reason = "no thread contains the contending PCs"
             self.plans_rejected += 1
@@ -198,7 +248,7 @@ class LaserRepair:
                 plan.detached_buffers.append(ssb)
             core.ssb = None
             inverse = _invert_index_map(
-                plan.index_maps[tid], len(plan.new_codes[tid].instructions)
+                plan.index_maps[tid], plan.new_code_len(tid)
             )
             core.replace_code(
                 plan.program.threads[tid].instructions, inverse

@@ -1,0 +1,234 @@
+"""Chaos soak harness: crash the monitor, demand the same answer.
+
+The crash-recovery claim (``repro.resilience``) is behavioral, not
+structural: under any schedule of detector/driver crashes and corrupted
+checkpoints, the recovered run's final bug report must *converge* to
+the fault-free run's — the same source lines, each with the same
+dominant true-/false-sharing verdict.  Cycle counts may legitimately
+differ (a crash can delay a repair attach, shifting machine timing),
+but the diagnosis may not.
+
+The harness sweeps seeds x named crash schedules over the standard
+workloads, runs each case twice (fault-free baseline, then chaotic),
+and compares :func:`report_signature` of the two reports.  Recovery
+``resil.*`` trace events from the chaotic run ride along so a failed
+case is a readable story, and the CLI writes the whole sweep as a
+JSONL artifact for CI.
+
+Run directly::
+
+    PYTHONPATH=src python -m repro.experiments.chaos --out chaos.jsonl
+
+or through the ``chaos``-marked tests in ``tests/test_resilience.py``
+(``pytest -m chaos``).
+"""
+
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import LaserConfig
+from repro.core.laser import Laser, LaserRunResult
+from repro.faults import FaultPlan
+from repro.workloads import get_workload
+
+__all__ = [
+    "CRASH_SCHEDULES",
+    "ChaosOutcome",
+    "schedule_plan",
+    "report_signature",
+    "run_chaos_case",
+    "run_chaos_soak",
+    "render_outcomes",
+]
+
+#: Named crash schedules: fault site -> occurrence indices (the
+#: injector's per-site consultation counter, so a schedule is exact and
+#: deterministic — no probabilities).  ``detector.crash`` is consulted
+#: twice per poll, so even indices are pre-poll crashes and odd indices
+#: post-read (unacked batch) crashes; ``driver.crash`` is consulted
+#: once per interval; ``checkpoint.corrupt`` is consulted once per
+#: *generation candidate* at restore time, so occurrence 0 corrupts the
+#: newest generation and forces the fallback path.
+CRASH_SCHEDULES: Dict[str, Dict[str, Sequence[int]]] = {
+    # First consultation ever: the detector dies before any poll or
+    # checkpoint exists — the checkpoint-less cold start must replay
+    # the journal from seq 0.
+    "detector-cold-start": {"detector.crash": (0,)},
+    # Mid-run pre-poll crash: restore from a real checkpoint, replay
+    # the suffix.
+    "detector-mid": {"detector.crash": (8,)},
+    # Post-read crash: the batch was read but never acked; replay must
+    # recover it and the re-delivery must dedup.
+    "detector-post-read": {"detector.crash": (7,)},
+    # Two spaced crashes: recover, run on, crash again.
+    "detector-repeated": {"detector.crash": (2, 13)},
+    # Driver dies, wiping its volatile buffers; the journal heals the
+    # wipe at the same interval's poll.
+    "driver-early": {"driver.crash": (1,)},
+    "driver-repeated": {"driver.crash": (2, 6)},
+    # Both components die at different times.
+    "double-fault": {"detector.crash": (6,), "driver.crash": (9,)},
+    # The newest checkpoint generation is corrupt at restore time;
+    # recovery must detect the bad CRC and fall back a generation.
+    "corrupt-fallback": {"detector.crash": (10,), "checkpoint.corrupt": (0,)},
+}
+
+
+def schedule_plan(name: str, seed: int = 0) -> FaultPlan:
+    """Materialize a named crash schedule as a deterministic FaultPlan."""
+    plan = FaultPlan(seed=seed)
+    for site, at in sorted(CRASH_SCHEDULES[name].items()):
+        plan.add(site, at=at)
+    return plan
+
+
+def report_signature(result: LaserRunResult) -> frozenset:
+    """The diagnosis a report makes: lines + dominant TS/FS verdicts.
+
+    This is what the paper's user acts on — *which* lines contend and
+    *whether* the contention is false sharing (repairable) or true
+    sharing.  Event counts and rates are deliberately excluded: a crash
+    shifts repair timing, which shifts rates, without changing the
+    diagnosis.
+    """
+    return frozenset(
+        (str(line.location), "FS" if line.fs_events > line.ts_events else "TS")
+        for line in result.report.lines
+    )
+
+
+class ChaosOutcome:
+    """One (workload, schedule, seed) cell of the soak grid."""
+
+    __slots__ = ("workload", "schedule", "seed", "converged",
+                 "baseline_signature", "chaotic_signature", "health",
+                 "recovery_events", "baseline_cycles", "chaotic_cycles")
+
+    def __init__(self, workload: str, schedule: str, seed: int,
+                 baseline: LaserRunResult, chaotic: LaserRunResult):
+        self.workload = workload
+        self.schedule = schedule
+        self.seed = seed
+        self.baseline_signature = report_signature(baseline)
+        self.chaotic_signature = report_signature(chaotic)
+        self.converged = self.baseline_signature == self.chaotic_signature
+        self.health = chaotic.health.as_dict()
+        self.baseline_cycles = baseline.cycles
+        self.chaotic_cycles = chaotic.cycles
+        #: The chaotic run's recovery story, straight from the tracer.
+        self.recovery_events: List[dict] = [
+            {"cycle": event.cycle, "name": event.name,
+             "args": dict(event.args or {})}
+            for event in chaotic.telemetry.tracer.events_named("resil.")
+        ]
+
+    def as_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "schedule": self.schedule,
+            "seed": self.seed,
+            "converged": self.converged,
+            "baseline_signature": sorted(self.baseline_signature),
+            "chaotic_signature": sorted(self.chaotic_signature),
+            "baseline_cycles": self.baseline_cycles,
+            "chaotic_cycles": self.chaotic_cycles,
+            "health": self.health,
+            "recovery_events": self.recovery_events,
+        }
+
+    def __repr__(self):
+        return "<ChaosOutcome %s/%s seed=%d %s>" % (
+            self.workload, self.schedule, self.seed,
+            "converged" if self.converged else "DIVERGED",
+        )
+
+
+def run_chaos_case(workload_name: str, schedule_name: str, seed: int = 0,
+                   config: Optional[LaserConfig] = None) -> ChaosOutcome:
+    """Baseline vs chaotic run of one cell; tracing on for the story."""
+    cfg = (config or LaserConfig()).replace(seed=seed, trace_enabled=True)
+    workload = get_workload(workload_name)
+    baseline = Laser(cfg).run_workload(workload)
+    chaotic = Laser(cfg, faults=schedule_plan(schedule_name, seed=seed)
+                    ).run_workload(workload)
+    return ChaosOutcome(workload_name, schedule_name, seed, baseline, chaotic)
+
+
+#: Default soak grid: the three standard sweep workloads.  Scoped small
+#: enough for CI (|workloads| x |schedules| x |seeds| runs, two runs
+#: each) but covering every recovery path: cold start, checkpointed
+#: restore, post-read dedup, driver wipe, double fault and corrupt
+#: fallback.
+SOAK_WORKLOADS = ("histogram'", "histogram", "linear_regression")
+
+
+def run_chaos_soak(workloads: Sequence[str] = SOAK_WORKLOADS,
+                   schedules: Optional[Sequence[str]] = None,
+                   seeds: Sequence[int] = (0,),
+                   config: Optional[LaserConfig] = None,
+                   ) -> List[ChaosOutcome]:
+    """The full sweep: every (workload, schedule, seed) cell."""
+    outcomes = []
+    for workload in workloads:
+        for schedule in (schedules or sorted(CRASH_SCHEDULES)):
+            for seed in seeds:
+                outcomes.append(
+                    run_chaos_case(workload, schedule, seed=seed,
+                                   config=config)
+                )
+    return outcomes
+
+
+def render_outcomes(outcomes: Sequence[ChaosOutcome]) -> str:
+    """Human-readable soak summary table."""
+    lines = ["%-18s %-20s %4s  %-9s  %s" % (
+        "workload", "schedule", "seed", "verdict", "recovery")]
+    for outcome in outcomes:
+        health = outcome.health
+        lines.append("%-18s %-20s %4d  %-9s  restarts=%d replayed=%d "
+                     "deduped=%d ckpt=%d/%d/%d" % (
+                         outcome.workload, outcome.schedule, outcome.seed,
+                         "converged" if outcome.converged else "DIVERGED",
+                         health["detector_crash_restarts"]
+                         + health["driver_crash_restarts"],
+                         health["records_replayed"],
+                         health["records_deduped"],
+                         health["checkpoints_written"],
+                         health["checkpoints_restored"],
+                         health["checkpoints_corrupt"],
+                     ))
+    diverged = sum(1 for outcome in outcomes if not outcome.converged)
+    lines.append("%d/%d cells converged" % (
+        len(outcomes) - diverged, len(outcomes)))
+    return "\n".join(lines)
+
+
+def write_artifact(outcomes: Sequence[ChaosOutcome], path: str) -> None:
+    """One JSONL line per cell (the CI recovery-trace artifact)."""
+    with open(path, "w") as fh:
+        for outcome in outcomes:
+            fh.write(json.dumps(outcome.as_dict(), sort_keys=True) + "\n")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workloads", nargs="*", default=list(SOAK_WORKLOADS))
+    parser.add_argument("--schedules", nargs="*", default=None,
+                        choices=sorted(CRASH_SCHEDULES), metavar="SCHEDULE")
+    parser.add_argument("--seeds", nargs="*", type=int, default=[0])
+    parser.add_argument("--out", default=None,
+                        help="write the JSONL recovery-trace artifact here")
+    args = parser.parse_args(argv)
+    outcomes = run_chaos_soak(workloads=args.workloads,
+                              schedules=args.schedules, seeds=args.seeds)
+    print(render_outcomes(outcomes))
+    if args.out:
+        write_artifact(outcomes, args.out)
+        print("wrote %s" % args.out)
+    return 0 if all(outcome.converged for outcome in outcomes) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

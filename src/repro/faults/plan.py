@@ -29,6 +29,18 @@ rejected):
     in capacity (an RTM conflict/interrupt abort storm).
 ``repair.error``
     Repair analysis raises ``RepairError`` at the evaluation point.
+``detector.crash``
+    The detector process dies, losing all in-memory pipeline state;
+    the supervisor restores the last checkpoint and replays the
+    journal suffix.  Consulted twice per poll (before the poll and
+    after the read but before the ack), so both crash flavors occur.
+``driver.crash``
+    The kernel driver dies, wiping its volatile per-core buffers and
+    outbox; journaled records are recovered at the next poll.
+``checkpoint.corrupt``
+    A checkpoint generation's payload is corrupted (one byte flipped)
+    before its CRC check at restore time; recovery must detect it and
+    fall back to the previous generation.
 """
 
 from typing import Dict, List, Optional, Sequence
@@ -46,6 +58,9 @@ FAULT_SITES: Dict[str, str] = {
     "detector.stall": "detector misses one poll interval",
     "htm.abort": "hardware transaction conflict abort",
     "repair.error": "repair analysis raises RepairError",
+    "detector.crash": "detector process dies losing in-memory state",
+    "driver.crash": "driver dies wiping volatile buffers and outbox",
+    "checkpoint.corrupt": "checkpoint payload corrupted before restore",
 }
 
 

@@ -16,6 +16,15 @@ let a stalled reader grow an allocation without limit, so when the
 outbox is full the driver drops the freshly drained records and counts
 them in ``records_dropped`` — the detector observes the loss through
 the count, never through a crash.
+
+Crash recoverability (``repro.resilience``): when the driver is given a
+:class:`~repro.resilience.journal.RecordJournal`, every record is
+journaled — as a stripped copy, stamped with a sequence number — at
+``deliver`` time, the moment the PMU hands it over.  The per-core
+buffers and the outbox are *volatile*: ``crash_reset`` wipes them (a
+driver crash loses exactly that state), and the journal is what heals
+the wipe.  A driver whose restart budget is exhausted is ``halted`` and
+drops deliveries with accounting instead of crashing the run.
 """
 
 from typing import List
@@ -39,7 +48,7 @@ class KernelDriver:
                  buffer_records: int = PEBS_BUFFER_RECORDS,
                  interrupt_cost: int = DRIVER_INTERRUPT_COST,
                  outbox_capacity: int = DRIVER_OUTBOX_CAPACITY,
-                 injector=None, tracer=None):
+                 injector=None, tracer=None, journal=None):
         self.num_cores = num_cores
         self.buffer_records = buffer_records
         self.interrupt_cost = interrupt_cost
@@ -50,6 +59,13 @@ class KernelDriver:
         #: Event tracer (``repro.obs.trace``); emits ``driver.drain``
         #: per buffer drain and ``driver.outbox_drop`` on overflow.
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Optional write-ahead :class:`RecordJournal`; when present,
+        #: every delivered record is journaled before it touches any
+        #: volatile buffer.
+        self.journal = journal
+        #: Set by the supervisor when the driver's restart budget is
+        #: exhausted: a halted driver drops deliveries with accounting.
+        self.halted = False
         self._core_buffers: List[List[PebsRecord]] = [[] for _ in range(num_cores)]
         self._outbox: List[StrippedRecord] = []
         self.interrupts = 0
@@ -63,6 +79,15 @@ class KernelDriver:
 
     def deliver(self, record: PebsRecord) -> int:
         """Accept a record from the PMU; returns interrupt cost if any."""
+        if self.halted:
+            self.records_dropped += 1
+            return 0
+        if self.journal is not None:
+            # Journal the stripped form first (write-ahead: durable
+            # before volatile), then stamp the raw record so the copy
+            # later drained to the outbox carries the same seqno.
+            stripped = StrippedRecord.from_pebs(record)
+            record.seq = self.journal.append(stripped)
         buffer = self._core_buffers[record.core]
         buffer.append(record)
         if len(buffer) < self.buffer_records:
@@ -128,3 +153,22 @@ class KernelDriver:
     @property
     def pending_records(self) -> int:
         return len(self._outbox) + sum(len(b) for b in self._core_buffers)
+
+    # ------------------------------------------------------------------
+    # Crash model (``repro.resilience``)
+    # ------------------------------------------------------------------
+
+    def crash_reset(self) -> int:
+        """A driver crash: every volatile buffer is wiped.
+
+        Returns the number of records lost from volatile state.  They
+        are *not* counted in ``records_dropped`` — when a journal is
+        attached each of them was journaled at delivery, so replay
+        recovers them; without a journal the caller owns the accounting.
+        """
+        wiped = len(self._outbox)
+        self._outbox = []
+        for buffer in self._core_buffers:
+            wiped += len(buffer)
+            buffer.clear()
+        return wiped

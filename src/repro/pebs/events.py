@@ -5,6 +5,13 @@ hardware dumps into the PEBS buffer (we model the register file as an
 opaque payload).  The kernel driver strips records down to
 :class:`StrippedRecord` — "only the PC, data address, and originating
 core" (Section 6) — before they reach the userspace detector.
+
+Both record classes carry a ``seq`` slot: the write-ahead journal
+(:mod:`repro.resilience.journal`) stamps each stripped record with a
+monotone sequence number at the driver boundary, and the stripped copy
+forwarded to the detector inherits it so duplicate delivery after a
+crash can be detected against the acked watermark.  ``seq == 0`` means
+"never journaled" (resilience disabled).
 """
 
 __all__ = ["PebsRecord", "StrippedRecord", "XSNP_HITM_EVENT"]
@@ -17,14 +24,15 @@ class PebsRecord:
     """A full PEBS record as produced by the (simulated) hardware."""
 
     __slots__ = ("pc", "data_addr", "core", "cycle", "store_triggered",
-                 "register_file")
+                 "register_file", "seq")
 
     def __init__(self, pc: int, data_addr: int, core: int, cycle: int,
-                 store_triggered: bool, register_file=None):
+                 store_triggered: bool, register_file=None, seq: int = 0):
         self.pc = pc
         self.data_addr = data_addr
         self.core = core
         self.cycle = cycle
+        self.seq = seq
         #: Whether the triggering access was a store (Figure 1c).  The
         #: real record does not expose this; it exists for ground-truth
         #: instrumentation in the characterization experiments and MUST
@@ -41,17 +49,20 @@ class PebsRecord:
 class StrippedRecord:
     """What the driver forwards to the detector: PC, address, core, time."""
 
-    __slots__ = ("pc", "data_addr", "core", "cycle")
+    __slots__ = ("pc", "data_addr", "core", "cycle", "seq")
 
-    def __init__(self, pc: int, data_addr: int, core: int, cycle: int):
+    def __init__(self, pc: int, data_addr: int, core: int, cycle: int,
+                 seq: int = 0):
         self.pc = pc
         self.data_addr = data_addr
         self.core = core
         self.cycle = cycle
+        self.seq = seq
 
     @classmethod
     def from_pebs(cls, record: PebsRecord) -> "StrippedRecord":
-        return cls(record.pc, record.data_addr, record.core, record.cycle)
+        return cls(record.pc, record.data_addr, record.core, record.cycle,
+                   seq=record.seq)
 
     def __repr__(self):
         return "<Record pc=%#x addr=%#x core=%d cyc=%d>" % (

@@ -1,0 +1,166 @@
+"""The write-ahead record journal.
+
+Every stripped PEBS record is appended here *at the driver boundary* —
+the moment the driver accepts it from the PMU — and stamped with a
+monotonically increasing sequence number.  The journal is the durable
+side of the pipeline (the model of a WAL file the kernel driver keeps
+next to its device node); the per-core buffers and the detector-facing
+outbox are volatile.  Everything downstream can therefore be
+reconstructed:
+
+* a restarted *detector* restores its last checkpoint (acked seqno
+  ``A``) and replays the suffix ``seq > A``;
+* a restarted *driver* loses its volatile buffers and outbox, but the
+  records in them were already journaled, so the same replay heals the
+  wipe;
+* duplicate delivery (a record both replayed from the journal and
+  still sitting in the outbox) is detected by ``(seq, cycle, core)``
+  against the acked watermark and dropped with accounting, which makes
+  replay idempotent.
+
+Batch marks record *acked seqnos*: after the detector processes one
+poll's batch it marks the batch's highest seqno (and the poll cycle).
+Replay re-processes the suffix split at those marks, in the same
+per-batch ``(cycle, core, pc)`` order the live detector used, so a
+recovered detector's line-model state converges to the fault-free
+run's.  Entries past the last mark (forwarded but never acked) form
+the *tail* and are replayed as one final batch.
+
+The journal is bounded: beyond ``max_entries`` the oldest entries are
+shed with accounting (an online monitor must not let its own WAL grow
+without limit).  Compaction is the usual checkpoint contract —
+``truncate_through(seq)`` drops everything at or below the oldest
+*retained* checkpoint's acked seqno.
+"""
+
+from bisect import bisect_right
+from typing import List, Tuple
+
+from repro.pebs.events import StrippedRecord
+
+__all__ = ["RecordJournal", "batch_sort_key"]
+
+#: The detector's canonical intra-batch processing order (the driver's
+#: ``read_records`` merge order); replayed batches are sorted the same
+#: way so recovery reproduces live processing exactly.
+def batch_sort_key(record: StrippedRecord) -> Tuple[int, int, int]:
+    return (record.cycle, record.core, record.pc)
+
+
+class RecordJournal:
+    """Sequence-numbered WAL of stripped records with acked-batch marks."""
+
+    def __init__(self, max_entries: int = 1 << 20):
+        if max_entries < 1:
+            raise ValueError("journal capacity must be >= 1")
+        self.max_entries = max_entries
+        self._entries: List[StrippedRecord] = []
+        #: Acked batch boundaries: (last seqno of the batch, poll cycle),
+        #: ascending in seq.
+        self._marks: List[Tuple[int, int]] = []
+        self._next_seq = 1
+        self.appended = 0
+        self.truncated = 0
+        #: Entries shed by the capacity bound (oldest first).  A shed
+        #: entry below the acked watermark costs nothing; above it, the
+        #: record is unrecoverable and replay completeness is lost.
+        self.overflow_dropped = 0
+
+    # ------------------------------------------------------------------
+    # Write side (the driver)
+    # ------------------------------------------------------------------
+
+    def append(self, record: StrippedRecord) -> int:
+        """Journal one stripped record; stamps and returns its seqno."""
+        record.seq = self._next_seq
+        self._next_seq += 1
+        self._entries.append(record)
+        self.appended += 1
+        if len(self._entries) > self.max_entries:
+            del self._entries[0]
+            self.overflow_dropped += 1
+        return record.seq
+
+    # ------------------------------------------------------------------
+    # Ack side (the detector)
+    # ------------------------------------------------------------------
+
+    def mark_batch(self, seq: int, cycle: int) -> None:
+        """Record that every entry up to ``seq`` was processed."""
+        if self._marks and seq <= self._marks[-1][0]:
+            return  # replays never move the watermark backwards
+        self._marks.append((seq, cycle))
+
+    @property
+    def acked_seq(self) -> int:
+        return self._marks[-1][0] if self._marks else 0
+
+    @property
+    def head_seq(self) -> int:
+        """Highest seqno ever assigned (0 when nothing was journaled)."""
+        return self._next_seq - 1
+
+    # ------------------------------------------------------------------
+    # Replay side
+    # ------------------------------------------------------------------
+
+    def entries_after(self, seq: int) -> List[StrippedRecord]:
+        """All retained entries with seqno strictly above ``seq``."""
+        lo = bisect_right([e.seq for e in self._entries], seq)
+        return self._entries[lo:]
+
+    def batches_after(self, seq: int):
+        """The unprocessed suffix, split at acked-batch marks.
+
+        Returns ``(batches, tail)``: ``batches`` is a list of
+        ``(entries, poll_cycle)`` pairs, one per recorded mark above
+        ``seq`` (entries in seqno order, unsorted — the caller applies
+        :func:`batch_sort_key`); ``tail`` is the entries past the last
+        mark, forwarded but never acked.
+        """
+        suffix = self.entries_after(seq)
+        batches: List[Tuple[List[StrippedRecord], int]] = []
+        start = 0
+        for mark_seq, mark_cycle in self._marks:
+            if mark_seq <= seq:
+                continue
+            end = start
+            while end < len(suffix) and suffix[end].seq <= mark_seq:
+                end += 1
+            batches.append((suffix[start:end], mark_cycle))
+            start = end
+        return batches, suffix[start:]
+
+    @staticmethod
+    def dedup(records: List[StrippedRecord], acked_seq: int):
+        """Split delivered records into (fresh, duplicates).
+
+        A record whose ``(seq, cycle, core)`` falls at or below the
+        acked watermark was already applied (via replay or a previous
+        read) — re-delivering it must be a no-op.
+        """
+        fresh = [r for r in records if r.seq > acked_seq]
+        return fresh, len(records) - len(fresh)
+
+    # ------------------------------------------------------------------
+    # Compaction (checkpoint contract)
+    # ------------------------------------------------------------------
+
+    def truncate_through(self, seq: int) -> int:
+        """Drop entries (and marks) at or below ``seq``; returns count."""
+        lo = bisect_right([e.seq for e in self._entries], seq)
+        dropped = lo
+        if dropped:
+            del self._entries[:lo]
+            self.truncated += dropped
+        self._marks = [(s, c) for s, c in self._marks if s > seq]
+        return dropped
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __repr__(self):
+        return "<RecordJournal %d entries seq<=%d acked=%d marks=%d>" % (
+            len(self._entries), self.head_seq, self.acked_seq,
+            len(self._marks),
+        )

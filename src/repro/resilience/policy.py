@@ -1,0 +1,121 @@
+"""Shared retry/backoff policy.
+
+Before this module the codebase had the beginnings of two backoff
+implementations: the ad-hoc ``backoff_remaining``/``next_backoff``
+counter pair in ``Laser.run_built`` (repair re-evaluation) and whatever
+the supervisor would have grown for component restarts.  One
+implementation, parameterized, serves both:
+
+* :class:`Backoff` — the delay schedule: starts at ``initial``
+  intervals, doubles per step, clamps at ``maximum``.  Optional
+  *seeded jitter* widens each delay by a deterministic random amount so
+  that restarting components do not thundering-herd onto the same
+  interval; the jitter stream is private (a :class:`random.Random`
+  owned by the policy), so enabling it never perturbs any other RNG in
+  the run.
+* :class:`RetryPolicy` — a :class:`Backoff` plus an attempt budget.
+  ``next_delay`` returns ``None`` once the budget is exhausted: the
+  caller's circuit breaker trips.  ``rearm`` resets both (used when the
+  system degrades a level and gives the component a fresh budget).
+
+Determinism: with ``jitter=0`` (the repair-loop configuration) the
+schedule is the exact integer sequence the old inline counters
+produced; with jitter the sequence is a pure function of the seed.
+"""
+
+import random
+from typing import Optional
+
+__all__ = ["Backoff", "RetryPolicy"]
+
+
+class Backoff:
+    """Exponential backoff with optional seeded jitter.
+
+    ``step()`` returns the *current* delay (in whatever unit the caller
+    counts — the LASER loop counts detector check intervals) and then
+    doubles the stored delay, clamped at ``maximum``.  This matches the
+    historical repair-backoff semantics exactly: the first delay is
+    ``initial`` even if ``initial > maximum``.
+    """
+
+    __slots__ = ("initial", "maximum", "jitter", "_rng", "_current")
+
+    def __init__(self, initial: int, maximum: int, jitter: float = 0.0,
+                 rng: Optional[random.Random] = None):
+        if initial < 1 or maximum < 1:
+            raise ValueError("backoff intervals must be >= 1")
+        if jitter < 0.0:
+            raise ValueError("jitter must be >= 0")
+        self.initial = initial
+        self.maximum = maximum
+        self.jitter = jitter
+        self._rng = rng
+        self._current = initial
+
+    @property
+    def current(self) -> int:
+        """The delay the next ``step()`` will return (before jitter)."""
+        return self._current
+
+    @current.setter
+    def current(self, value: int) -> None:
+        """Restore point for checkpoint/restore of the schedule."""
+        self._current = value
+
+    def step(self) -> int:
+        """Consume one delay from the schedule."""
+        delay = self._current
+        self._current = min(delay * 2, self.maximum)
+        if self.jitter and self._rng is not None:
+            delay += self._rng.randint(0, int(delay * self.jitter))
+        return delay
+
+    def reset(self) -> None:
+        self._current = self.initial
+
+    def __repr__(self):
+        return "<Backoff %d..%d current=%d%s>" % (
+            self.initial, self.maximum, self._current,
+            " jitter=%g" % self.jitter if self.jitter else "",
+        )
+
+
+class RetryPolicy:
+    """A backoff schedule with an attempt budget (circuit-breaker input)."""
+
+    __slots__ = ("backoff", "max_attempts", "attempts")
+
+    def __init__(self, initial: int = 1, maximum: int = 8,
+                 jitter: float = 0.0, max_attempts: Optional[int] = None,
+                 rng: Optional[random.Random] = None):
+        if max_attempts is not None and max_attempts < 0:
+            raise ValueError("max_attempts must be >= 0")
+        self.backoff = Backoff(initial, maximum, jitter=jitter, rng=rng)
+        self.max_attempts = max_attempts
+        self.attempts = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return (self.max_attempts is not None
+                and self.attempts >= self.max_attempts)
+
+    def next_delay(self) -> Optional[int]:
+        """One more attempt, or ``None`` when the budget is spent."""
+        if self.exhausted:
+            return None
+        self.attempts += 1
+        return self.backoff.step()
+
+    def rearm(self, max_attempts: Optional[int] = None) -> None:
+        """Fresh budget and schedule (after a degradation step)."""
+        if max_attempts is not None:
+            self.max_attempts = max_attempts
+        self.attempts = 0
+        self.backoff.reset()
+
+    def __repr__(self):
+        budget = ("%d/%s" % (self.attempts, self.max_attempts)
+                  if self.max_attempts is not None
+                  else "%d/inf" % self.attempts)
+        return "<RetryPolicy attempts=%s %r>" % (budget, self.backoff)
