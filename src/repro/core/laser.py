@@ -10,170 +10,48 @@ the detector evaluates false-sharing rates and may invoke LASERREPAIR,
 which attaches to the running machine like Pin attaches to a running
 process.
 
-Deployability is the paper's whole argument, so the loop is built to
-degrade rather than die:
-
-* a stalled detector (``DetectorStall``) skips its poll; the bounded
-  driver outbox absorbs the backlog (dropping with accounting beyond
-  its capacity) and the next healthy poll resyncs;
-* a rejected or failed repair evaluation backs off exponentially and
-  is re-evaluated later — contention character shifts at runtime, so
-  "unprofitable now" is not "unprofitable forever";
-* an attached repair is watched: if the post-repair HITM rate shows
-  the repair stopped paying off (or the SSB is thrashing the HTM),
-  the watchdog detaches the instrumentation, restoring the original
-  program;
-* a *crashed* component (``detector.crash``/``driver.crash`` fault
-  sites) is supervised (``repro.resilience``): records are journaled
-  at the driver boundary, detector state is checkpointed at interval
-  boundaries, and a restarted detector restores the last good
-  checkpoint and replays exactly the unprocessed journal suffix.  A
-  component that exhausts its restart budget trips a circuit breaker
-  and the run degrades — detection-only, then passthrough — instead
-  of aborting;
-* every degradation event is tallied in a :class:`RunHealth` record on
-  the result, and under *any* fault schedule the run completes with a
-  (possibly degraded) report instead of an exception.
+The run loop itself lives in the service kernel
+(:mod:`repro.core.services`): ``run_built`` composes a
+:class:`~repro.core.services.context.RunContext` with five services —
+driver poll, detection, repair, resilience, telemetry — under a
+deterministic :class:`~repro.core.services.scheduler.Scheduler`, and
+wraps the outcome.  Deployability is the paper's whole argument, so
+the kernel degrades rather than dies: stalls resync, rejected repairs
+back off, unprofitable repairs detach, crashed components restart from
+checkpoint + journal, exhausted restart budgets degrade the run
+(detection-only, then passthrough) instead of aborting, and every
+degradation event is tallied in a :class:`RunHealth` record on the
+result.
 """
 
-from typing import Optional, Set
+from typing import Optional
 
-from repro._constants import CYCLES_PER_SECOND
 from repro.core.config import LaserConfig
 from repro.core.detect.pipeline import DetectionPipeline
 from repro.core.detect.report import ContentionReport
+from repro.core.health import RunHealth
 from repro.core.repair.manager import LaserRepair, RepairPlan
-from repro.errors import DetectorStall, RepairError
+from repro.core.services import (
+    DetectionService,
+    DetectorState,
+    DriverPollService,
+    RepairService,
+    ResilienceService,
+    RunContext,
+    Scheduler,
+    TelemetryService,
+)
 from repro.faults import FaultInjector, FaultPlan
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.telemetry import RunTelemetry, WindowStats
+from repro.obs.telemetry import RunTelemetry
 from repro.obs.trace import NULL_TRACER, EventTracer
 from repro.pebs.driver import KernelDriver
 from repro.pebs.imprecision import ImprecisionModel
 from repro.pebs.pmu import PerformanceMonitoringUnit
-from repro.resilience import Backoff, DegradeMode, ResilienceRuntime
-from repro.resilience.journal import RecordJournal, batch_sort_key
+from repro.resilience import ResilienceRuntime
 from repro.sim.machine import Machine
 
 __all__ = ["Laser", "LaserRunResult", "RunHealth"]
-
-
-class RunHealth:
-    """Degradation tally for one run: what was lost, what was survived.
-
-    All-zero counters mean the run was pristine — the graceful-
-    degradation machinery observed nothing and changed nothing.
-    """
-
-    _FIELDS = (
-        "records_dropped",
-        "records_lost",
-        "records_corrupted",
-        "detector_stalls",
-        "detector_restarts",
-        "repair_rejections",
-        "repair_verifier_rejections",
-        "repair_errors",
-        "rollbacks",
-        "htm_aborts",
-        "injected_htm_aborts",
-        "ssb_fallback_activations",
-        "faults_injected",
-        "undecodable_pcs",
-        "records_pending_at_exit",
-        # Crash recovery (``repro.resilience``).
-        "detector_crashes",
-        "detector_crash_restarts",
-        "driver_crashes",
-        "driver_crash_restarts",
-        "breaker_trips",
-        "records_replayed",
-        "records_deduped",
-        "checkpoints_written",
-        "checkpoints_restored",
-        "checkpoints_corrupt",
-    )
-    #: Informational fields: reported, but not degradation.  A repair
-    #: *rejection* is the healthy path (Section 5.4); undecodable PCs
-    #: are expected PEBS skid noise (most wrong PCs are not memory
-    #: ops); records pending at application exit are drained into the
-    #: final report, not lost; checkpoints are *written* on every
-    #: healthy run (recovery insurance, not degradation) — restoring
-    #: one, or finding one corrupt, is what counts.
-    _INFO_FIELDS = frozenset({
-        "repair_rejections",
-        "undecodable_pcs",
-        "records_pending_at_exit",
-        "checkpoints_written",
-    })
-    __slots__ = _FIELDS
-
-    def __init__(self, **counts: int):
-        for field in self._FIELDS:
-            setattr(self, field, counts.pop(field, 0))
-        if counts:
-            raise TypeError("unknown RunHealth fields: %s" % sorted(counts))
-
-    @property
-    def degraded(self) -> bool:
-        """True if anything was lost, restarted, rolled back or faulted.
-
-        Fields in ``_INFO_FIELDS`` are reported but not counted here:
-        declining an unprofitable repair is the healthy path
-        (Section 5.4), undecodable PCs are expected skid noise, and
-        exit-pending records are drained into the final report.  A
-        *verifier* rejection is different: the rewriter produced code
-        the static TSO/SSB checker could not prove safe, so
-        ``repair_verifier_rejections`` does count as degradation.
-        """
-        return any(
-            getattr(self, field)
-            for field in self._FIELDS
-            if field not in self._INFO_FIELDS
-        )
-
-    def as_dict(self) -> dict:
-        return {field: getattr(self, field) for field in self._FIELDS}
-
-    def recovery_summary(self) -> str:
-        """One line of crash-recovery accounting (quickstart prints it)."""
-        return (
-            "recovery: restarts detector=%d driver=%d breaker_trips=%d "
-            "replayed=%d deduped=%d checkpoints=%d/%d/%d (written/restored/corrupt)"
-            % (
-                self.detector_crash_restarts,
-                self.driver_crash_restarts,
-                self.breaker_trips,
-                self.records_replayed,
-                self.records_deduped,
-                self.checkpoints_written,
-                self.checkpoints_restored,
-                self.checkpoints_corrupt,
-            )
-        )
-
-    def summary(self) -> str:
-        """One line for operators (quickstart prints this)."""
-        if not self.degraded:
-            info = [
-                "%s=%d" % (field, getattr(self, field))
-                for field in self._FIELDS
-                if field in self._INFO_FIELDS and getattr(self, field)
-            ]
-            base = "healthy (no drops, stalls, rollbacks or faults)"
-            return base + (" [info: %s]" % " ".join(info) if info else "")
-        parts = [
-            "%s=%d" % (field, getattr(self, field))
-            for field in self._FIELDS
-            if getattr(self, field)
-        ]
-        return "degraded: " + " ".join(parts)
-
-    def __eq__(self, other):
-        return isinstance(other, RunHealth) and self.as_dict() == other.as_dict()
-
-    def __repr__(self):
-        return "<RunHealth %s>" % self.summary()
 
 
 class LaserRunResult:
@@ -239,71 +117,6 @@ class LaserRunResult:
         )
 
 
-class _DetectorState:
-    """The detector process's in-memory loop state.
-
-    Everything here dies with a detector crash and is rebuilt from the
-    last checkpoint (plus journal replay); keeping it in one object
-    keeps the crash/restore boundary honest.  The repair-attachment
-    flags (``plan``/``repaired``/``rolled_back``) are *not* part of the
-    checkpointed loop state — the resilience runtime is the durable
-    authority on what instrumentation is live in the machine, and
-    restore reconciles against it (a checkpoint can legitimately be a
-    generation stale; trusting its attachment flags could double-attach).
-    """
-
-    __slots__ = ("plan", "repaired", "rolled_back", "stalled",
-                 "window_start", "backoff_remaining", "repair_backoff",
-                 "attach_rate", "windows_since_attach",
-                 "mark_cycle", "mark_hitm", "mark_aborts")
-
-    def __init__(self, config: LaserConfig):
-        self.plan: Optional[RepairPlan] = None
-        self.repaired = False
-        self.rolled_back = False
-        self.repair_backoff = Backoff(
-            config.repair_backoff_intervals, config.repair_backoff_max
-        )
-        self.reset_loop_state()
-
-    def reset_loop_state(self) -> None:
-        """Cold-start values (a restart with no checkpoint to restore)."""
-        self.stalled = False
-        self.window_start = 0
-        self.backoff_remaining = 0
-        self.repair_backoff.reset()
-        self.attach_rate = 0.0
-        self.windows_since_attach = 0
-        self.mark_cycle = 0
-        self.mark_hitm = 0
-        self.mark_aborts = 0
-
-    def loop_state(self) -> dict:
-        """Checkpoint payload for the loop-control state."""
-        return {
-            "window_start": self.window_start,
-            "stalled": self.stalled,
-            "backoff_remaining": self.backoff_remaining,
-            "backoff_current": self.repair_backoff.current,
-            "attach_rate": self.attach_rate,
-            "windows_since_attach": self.windows_since_attach,
-            "mark_cycle": self.mark_cycle,
-            "mark_hitm": self.mark_hitm,
-            "mark_aborts": self.mark_aborts,
-        }
-
-    def load_loop_state(self, loop: dict) -> None:
-        self.window_start = loop["window_start"]
-        self.stalled = loop["stalled"]
-        self.backoff_remaining = loop["backoff_remaining"]
-        self.repair_backoff.current = loop["backoff_current"]
-        self.attach_rate = loop["attach_rate"]
-        self.windows_since_attach = loop["windows_since_attach"]
-        self.mark_cycle = loop["mark_cycle"]
-        self.mark_hitm = loop["mark_hitm"]
-        self.mark_aborts = loop["mark_aborts"]
-
-
 class Laser:
     """The deployable system: detect + (optionally) repair online."""
 
@@ -335,16 +148,14 @@ class Laser:
 
     def run_built(self, built,
                   max_cycles: int = 200_000_000) -> LaserRunResult:
-        """Monitor an already-built program."""
+        """Monitor an already-built program: compose the kernel, run it."""
         config = self.config
         program = built.program
         injector = FaultInjector(self.faults)
         # Observability: the tracer is shared by every instrumented
-        # component (machine/HTM, PMU, driver, pipeline, repair); the
-        # telemetry bundle collects the per-window time series.  With
-        # tracing off the shared NULL_TRACER makes every site a single
-        # predicted-not-taken branch, and a run's simulated cycles are
-        # identical either way — tracing observes, it never charges.
+        # component; with tracing off the shared NULL_TRACER makes
+        # every site a single predicted-not-taken branch, and a run's
+        # simulated cycles are identical either way.
         tracer = (
             EventTracer(capacity=config.trace_capacity)
             if config.trace_enabled else NULL_TRACER
@@ -358,18 +169,15 @@ class Laser:
             tracer=tracer,
         )
         built.apply_init(machine)
-
         # Wrong PCs scatter across the whole app text region (most of a
         # real binary is cold code with no HITM-relevant debug lines).
         app_region = machine.vmmap.find(program.code_base)
         imprecision = ImprecisionModel(
             app_region.start, app_region.end, seed=config.seed
         )
-        # Crash recovery (``repro.resilience``): like tracing, the
-        # runtime observes and never charges simulated cycles, so a run
-        # with no crash faults is bit-identical with it on or off.
-        # Built before the driver so records are journaled from the
-        # very first delivery.
+        # Crash recovery: like tracing, the runtime observes and never
+        # charges simulated cycles.  Built before the driver so records
+        # are journaled from the very first delivery.
         runtime = (
             ResilienceRuntime(config, config.seed,
                               injector=injector, tracer=tracer)
@@ -393,614 +201,33 @@ class Laser:
             program, machine.vmmap, config.sample_after_value,
             tracer=tracer,
         )
-        tracer.emit(
-            "laser.run_begin", 0, program=program.name,
-            sample_after_value=config.sample_after_value,
-            check_interval=config.check_interval_cycles,
-            repair_enabled=config.repair_enabled,
+        ctx = RunContext(
+            config=config, machine=machine, program=program,
+            injector=injector, tracer=tracer, telemetry=telemetry,
+            health=RunHealth(), driver=driver, pmu=pmu,
+            pipeline=pipeline, repairer=self.repairer, runtime=runtime,
+            st=DetectorState(config),
         )
-
-        health = RunHealth()
-        st = _DetectorState(config)
-        next_check = config.check_interval_cycles
-        interval = 0
-        # Windowed-telemetry marker: totals as of the last recorded
-        # window, so each window stores deltas (see _record_window).
-        marker = {
-            "cycle": 0, "hitm": 0, "seen": 0, "admitted": 0,
-            "dropped": 0, "detector": 0, "driver": 0,
-            "flushes": 0, "aborts": 0,
-        }
-
-        while True:
-            result = machine.run(until_cycle=next_check, max_cycles=max_cycles)
-            interval += 1
-            # Component supervision: service crash faults and any due
-            # restarts before the detector's poll.
-            recovery = False
-            if runtime is not None:
-                recovery = self._supervise(
-                    runtime, driver, pipeline, st, machine, injector, interval
-                )
-            detector = (
-                runtime.supervisor["detector"] if runtime is not None else None
-            )
-            polled = False
-            if detector is None or detector.running:
-                # The detector's periodic poll forces a drain of partially
-                # filled per-core buffers (otherwise records would sit until
-                # the 64-record buffer-full interrupt, blinding the online
-                # repair trigger on short phases).  A stalled detector skips
-                # the poll; records back up in the bounded driver outbox and
-                # the next healthy poll resyncs over the combined window.
-                if (runtime is not None
-                        and injector.fires("detector.crash")):
-                    # Pre-poll crash: the detector dies before its read;
-                    # the whole batch waits in the journal for the restart.
-                    self._detector_crashed(runtime, interval, machine.cycle)
-                else:
-                    try:
-                        if injector.fires("detector.stall"):
-                            raise DetectorStall(
-                                "detector missed poll at cycle %d" % machine.cycle
-                            )
-                        if st.stalled:
-                            st.stalled = False
-                            health.detector_restarts += 1
-                            tracer.emit("detector.resync", machine.cycle,
-                                        backlog=driver.pending_records)
-                        records = driver.flush_all()
-                        if (runtime is not None
-                                and injector.fires("detector.crash")):
-                            # Post-read, pre-ack crash: the read batch is
-                            # discarded unacknowledged; it stays below no
-                            # mark, so replay recovers it and the driver's
-                            # re-delivery is deduplicated.
-                            self._detector_crashed(runtime, interval,
-                                                   machine.cycle)
-                        else:
-                            self._process_poll(runtime, pipeline, st, records,
-                                               recovery, machine)
-                            pipeline.roll_window(machine.cycle - st.window_start,
-                                                 cycle=machine.cycle)
-                            st.window_start = machine.cycle
-                            polled = True
-                    except DetectorStall:
-                        health.detector_stalls += 1
-                        st.stalled = True
-                        tracer.emit("detector.stall", machine.cycle,
-                                    backlog=driver.pending_records)
-            detector_up = detector is None or detector.running
-            self._record_window(
-                telemetry, marker, machine, pmu, driver, pipeline, st.plan,
-                stalled=st.stalled or not detector_up,
-                repair_state=("attached" if st.repaired
-                              else "rolled_back" if st.rolled_back
-                              else "idle"),
-                extra_buffers=(runtime.detached_buffers
-                               if runtime is not None else ()),
-            )
-            if result.finished:
-                break
-            next_check = machine.cycle + config.check_interval_cycles
-            if not polled:
-                continue  # a stalled, crashed or down detector evaluates nothing
-            self._repair_step(runtime, pipeline, st, machine, pmu, injector,
-                              health, tracer)
-            if (runtime is not None
-                    and interval % config.checkpoint_every_windows == 0):
-                self._save_checkpoint(runtime, pipeline, st, machine.cycle)
-
-        # Records still sitting in the driver at application exit were
-        # never seen by the *online* detector; surface the count before
-        # the final drain folds them into the offline report.
-        health.records_pending_at_exit = driver.pending_records
-        was_down = (
-            runtime is not None
-            and not runtime.supervisor["detector"].running
+        resilience = ResilienceService()
+        scheduler = Scheduler(
+            ctx,
+            resilience=resilience,
+            driver_poll=DriverPollService(resilience),
+            detection=DetectionService(resilience),
+            repair=RepairService(self.repairer, resilience),
+            telemetry=TelemetryService(),
         )
-        if runtime is not None:
-            if was_down:
-                # Offline recovery: the detector was down (or halted in
-                # passthrough) when the application exited.  The journal
-                # is durable, so the report is rebuilt the same way a
-                # restarted detector would: checkpoint + replay, then
-                # the final drain.
-                tracer.emit(
-                    "resil.offline_recover", machine.cycle,
-                    status=runtime.supervisor["detector"].status,
-                )
-                self._restore_detector(runtime, pipeline, st, machine, tracer)
-                self._process_poll(runtime, pipeline, st,
-                                   driver.flush_all(), True, machine)
-            else:
-                fresh, dups = RecordJournal.dedup(
-                    driver.flush_all(), runtime.journal.acked_seq
-                )
-                runtime.count_deduped(dups)
-                pipeline.process(fresh)
-        else:
-            pipeline.process(driver.flush_all())
-        if health.records_pending_at_exit or st.stalled or was_down:
-            # Catch-up window: whatever the final drain added beyond the
-            # last recorded window (stalled finishes, exit backlogs).
-            self._record_window(
-                telemetry, marker, machine, pmu, driver, pipeline, st.plan,
-                stalled=st.stalled or was_down,
-                repair_state=("attached" if st.repaired
-                              else "rolled_back" if st.rolled_back
-                              else "idle"),
-                extra_buffers=(runtime.detached_buffers
-                               if runtime is not None else ()),
-            )
-        report = pipeline.report(machine.cycle, config.rate_threshold)
-        self._finalize_health(health, machine, driver, injector, st.plan,
-                              pipeline, runtime)
-        tracer.emit(
-            "laser.run_end", machine.cycle, cycles=machine.cycle,
-            hitm_events=pmu.total_hitm_count, repaired=st.repaired,
-            degraded=health.degraded,
-        )
+        report = scheduler.run(max_cycles=max_cycles)
         return LaserRunResult(
             cycles=machine.cycle,
             report=report,
-            repaired=st.repaired,
-            repair_plan=st.plan,
+            repaired=ctx.st.repaired,
+            repair_plan=ctx.st.plan,
             pmu=pmu,
             driver=driver,
             pipeline=pipeline,
             machine=machine,
-            health=health,
+            health=ctx.health,
             telemetry=telemetry,
             resilience=runtime,
-        )
-
-    # ------------------------------------------------------------------
-    # Crash recovery (``repro.resilience``)
-    # ------------------------------------------------------------------
-
-    def _supervise(self, runtime: ResilienceRuntime, driver: KernelDriver,
-                   pipeline: DetectionPipeline, st: _DetectorState,
-                   machine: Machine, injector: FaultInjector,
-                   interval: int) -> bool:
-        """Service crash faults and due restarts at an interval boundary.
-
-        Returns True when the upcoming poll is a *recovery poll* — one
-        that must take its batch from the journal because the driver's
-        volatile buffers no longer hold the full picture.
-        """
-        supervisor = runtime.supervisor
-        cycle = machine.cycle
-        recovery = False
-        component = supervisor["driver"]
-        if component.running:
-            if injector.fires("driver.crash"):
-                driver.crash_reset()
-                if supervisor.crash("driver", interval, cycle):
-                    # A kernel module reload is synchronous: the driver
-                    # is back before the next delivery.  The wiped
-                    # volatile records were journaled at delivery, so
-                    # this interval's poll heals from the WAL.
-                    supervisor.restart("driver", interval, cycle)
-                    recovery = True
-                elif self._breaker_tripped(runtime, "driver", interval, cycle):
-                    recovery = True  # rearmed immediately; heal from WAL
-                else:
-                    driver.halted = True
-            else:
-                supervisor.beat("driver", interval)
-        component = supervisor["detector"]
-        if component.running:
-            supervisor.beat("detector", interval)
-        elif supervisor.due("detector", interval):
-            supervisor.restart("detector", interval, cycle)
-            self._restore_detector(runtime, pipeline, st, machine,
-                                   runtime.tracer)
-            recovery = True
-        return recovery
-
-    def _detector_crashed(self, runtime: ResilienceRuntime,
-                          interval: int, cycle: int) -> None:
-        """The detector process died; schedule its restart (or degrade)."""
-        if not runtime.supervisor.crash("detector", interval, cycle):
-            self._breaker_tripped(runtime, "detector", interval, cycle)
-
-    def _breaker_tripped(self, runtime: ResilienceRuntime, name: str,
-                         interval: int, cycle: int) -> bool:
-        """Walk the degrade ladder after a circuit-breaker trip.
-
-        Returns True if the component was handed a fresh budget and is
-        running again (drivers come back immediately — they are
-        stateless beyond their volatiles; the detector restarts through
-        the normal restore path next interval).
-        """
-        mode = runtime.degrade(interval, cycle)
-        if mode == DegradeMode.DETECTION_ONLY:
-            immediate = name == "driver"
-            runtime.supervisor.rearm(
-                name, interval, cycle,
-                max_attempts=self.config.max_component_restarts,
-                immediate=immediate,
-            )
-            return immediate
-        # PASSTHROUGH: the component stays halted; monitoring stands
-        # down and the final report is recovered offline from the WAL.
-        return False
-
-    def _restore_detector(self, runtime: ResilienceRuntime,
-                          pipeline: DetectionPipeline, st: _DetectorState,
-                          machine: Machine, tracer) -> None:
-        """Rebuild a restarted detector: checkpoint, reconcile, replay."""
-        state = runtime.checkpoints.load(machine.cycle)
-        if state is None:
-            # Checkpoint-less cold start (first restart before any
-            # checkpoint was written, or every generation corrupt):
-            # empty pipeline, replay the journal from seq 0.
-            pipeline.reset_state()
-            st.reset_loop_state()
-        else:
-            pipeline.load_state_dict(state["pipeline"])
-            st.load_loop_state(state["loop"])
-        # The runtime — not the (possibly stale, possibly fallen-back)
-        # checkpoint — is the authority on what instrumentation is live
-        # in the machine; trusting an older generation here could
-        # double-attach or strand an SSB.
-        if runtime.attached_state is not None:
-            st.plan = RepairPlan.from_attached_state(
-                machine.program, runtime.attached_state
-            )
-            st.repaired = True
-            st.rolled_back = False
-        else:
-            st.plan = None
-            st.repaired = False
-            st.rolled_back = runtime.rolled_back
-        # Replay the acked suffix in live order: each marked batch is
-        # one pre-crash poll, re-sorted exactly as read_records merged
-        # it and rolled through the same window boundary.  The unacked
-        # tail is left for the caller's recovery poll.
-        start = state["acked_seq"] if state is not None else 0
-        batches, tail = runtime.journal.batches_after(start)
-        replayed = 0
-        for entries, poll_cycle in batches:
-            batch = sorted(entries, key=batch_sort_key)
-            pipeline.process(batch)
-            pipeline.roll_window(poll_cycle - st.window_start,
-                                 cycle=poll_cycle)
-            st.window_start = poll_cycle
-            replayed += len(batch)
-        runtime.count_replayed(replayed)
-        if tracer.enabled:
-            tracer.emit("resil.replay", machine.cycle, from_seq=start,
-                        batches=len(batches), records=replayed,
-                        tail=len(tail))
-
-    @staticmethod
-    def _process_poll(runtime: Optional[ResilienceRuntime],
-                      pipeline: DetectionPipeline, st: _DetectorState,
-                      records, recovery: bool, machine: Machine) -> None:
-        """Process one poll's batch, with journal dedup/ack when enabled."""
-        if runtime is None:
-            pipeline.process(records)
-            return
-        journal = runtime.journal
-        if recovery:
-            # The journal is authoritative after a crash: the unacked
-            # tail is a superset of whatever survived in the driver's
-            # volatile buffers, so the driver's own delivery is counted
-            # as duplicate and the difference as replayed.
-            tail = journal.entries_after(journal.acked_seq)
-            runtime.count_deduped(len(records))
-            runtime.count_replayed(len(tail) - len(records))
-            batch = sorted(tail, key=batch_sort_key)
-        else:
-            batch, dups = RecordJournal.dedup(records, journal.acked_seq)
-            runtime.count_deduped(dups)
-        pipeline.process(batch)
-        if batch:
-            journal.mark_batch(max(r.seq for r in batch), machine.cycle)
-
-    @staticmethod
-    def _save_checkpoint(runtime: ResilienceRuntime,
-                         pipeline: DetectionPipeline, st: _DetectorState,
-                         cycle: int) -> None:
-        state = {
-            "pipeline": pipeline.state_dict(),
-            "loop": st.loop_state(),
-            "acked_seq": runtime.journal.acked_seq,
-        }
-        runtime.checkpoints.save(state, cycle)
-        # Compaction: entries at or below the *oldest retained*
-        # checkpoint's watermark can never be replayed again, even if
-        # restore falls back a generation.
-        runtime.journal.truncate_through(
-            runtime.checkpoints.min_retained("acked_seq")
-        )
-
-    # ------------------------------------------------------------------
-    # Repair evaluation at a healthy interval boundary
-    # ------------------------------------------------------------------
-
-    def _repair_step(self, runtime: Optional[ResilienceRuntime],
-                     pipeline: DetectionPipeline, st: _DetectorState,
-                     machine: Machine, pmu: PerformanceMonitoringUnit,
-                     injector: FaultInjector, health: RunHealth,
-                     tracer) -> None:
-        config = self.config
-        if not (config.repair_enabled and config.detection_enabled):
-            return
-        if st.repaired:
-            # Post-repair watchdog: judge the attached repair every
-            # watchdog_windows windows; detach if it stopped paying.
-            st.windows_since_attach += 1
-            if (config.rollback_enabled
-                    and st.windows_since_attach % config.watchdog_windows == 0):
-                elapsed = machine.cycle - st.mark_cycle
-                post_rate = (
-                    (pmu.total_hitm_count - st.mark_hitm)
-                    * CYCLES_PER_SECOND / elapsed
-                    if elapsed > 0 else 0.0
-                )
-                aborts = self._ssb_abort_count(machine)
-                abort_rate = (aborts - st.mark_aborts) / config.watchdog_windows
-                paying = (post_rate < config.watchdog_rate_ratio * st.attach_rate
-                          and abort_rate < config.watchdog_abort_rate)
-                tracer.emit(
-                    "repair.watchdog", machine.cycle,
-                    post_rate=round(post_rate, 3),
-                    attach_rate=round(st.attach_rate, 3),
-                    abort_rate=round(abort_rate, 3),
-                    verdict="keep" if paying else "detach",
-                )
-                if not paying:
-                    self.repairer.detach(machine, st.plan)
-                    health.rollbacks += 1
-                    st.repaired = False
-                    st.rolled_back = True
-                    if runtime is not None:
-                        # Detachment is durable state: record it (and the
-                        # host-side SSB stats) and checkpoint immediately
-                        # so no restore resurrects the attachment.
-                        runtime.note_detached(st.plan.detached_buffers)
-                        self._save_checkpoint(runtime, pipeline, st,
-                                              machine.cycle)
-                else:
-                    st.mark_cycle = machine.cycle
-                    st.mark_hitm = pmu.total_hitm_count
-                    st.mark_aborts = aborts
-            return
-        if st.rolled_back:
-            return  # one rollback ends repair attempts for the run
-        if runtime is not None and not runtime.repair_allowed:
-            return  # degraded to detection-only: no new instrumentation
-        if st.backoff_remaining > 0:
-            st.backoff_remaining -= 1
-            return
-        try:
-            if injector.fires("repair.error"):
-                raise RepairError(
-                    "injected repair analysis failure at cycle %d"
-                    % machine.cycle
-                )
-            plan = self._maybe_repair(machine, pipeline, tracer)
-        except RepairError:
-            health.repair_errors += 1
-            st.backoff_remaining = st.repair_backoff.step()
-            tracer.emit("repair.backoff", machine.cycle,
-                        reason="repair_error",
-                        intervals=st.backoff_remaining)
-            return
-        st.plan = plan if plan is not None else st.plan
-        if plan is not None and plan.profitable:
-            self.repairer.attach(machine, plan)
-            st.repaired = True
-            st.windows_since_attach = 0
-            st.attach_rate = (
-                pmu.total_hitm_count * CYCLES_PER_SECOND / machine.cycle
-                if machine.cycle > 0 else 0.0
-            )
-            st.mark_cycle = machine.cycle
-            st.mark_hitm = pmu.total_hitm_count
-            st.mark_aborts = self._ssb_abort_count(machine)
-            if runtime is not None:
-                # Attachment is durable state: record the serialized
-                # plan and checkpoint immediately, so a restore from
-                # any retained generation reconciles correctly.
-                runtime.note_attached(plan.attached_state())
-                self._save_checkpoint(runtime, pipeline, st, machine.cycle)
-        elif plan is not None and plan.rejected_reason:
-            # Re-evaluate later instead of bailing out permanently:
-            # contention character shifts, and so does profitability.
-            if plan.verifier_rejected:
-                health.repair_verifier_rejections += 1
-            else:
-                health.repair_rejections += 1
-            st.backoff_remaining = st.repair_backoff.step()
-            tracer.emit("repair.backoff", machine.cycle,
-                        reason=plan.rejected_reason,
-                        intervals=st.backoff_remaining)
-
-    # ------------------------------------------------------------------
-    # Accounting helpers
-    # ------------------------------------------------------------------
-
-    @staticmethod
-    def _ssb_abort_count(machine: Machine) -> int:
-        return sum(
-            core.ssb.stats.htm_aborts
-            for core in machine.cores
-            if core.ssb is not None
-        )
-
-    @staticmethod
-    def _ssb_buffers(machine: Machine, plan: Optional[RepairPlan],
-                     extra=()):
-        """Attached + detached SSBs, deduplicated by identity.
-
-        A detached buffer can be referenced both by the plan that owned
-        it and by the resilience runtime's durable list (which outlives
-        detector crashes); counting it twice would double its stats.
-        """
-        buffers = {
-            id(core.ssb): core.ssb
-            for core in machine.cores
-            if core.ssb is not None
-        }
-        if plan is not None:
-            for ssb in plan.detached_buffers:
-                buffers[id(ssb)] = ssb
-        for ssb in extra:
-            buffers[id(ssb)] = ssb
-        return list(buffers.values())
-
-    @classmethod
-    def _ssb_totals(cls, machine: Machine, plan: Optional[RepairPlan],
-                    extra=()):
-        """(flushes, htm_aborts) over attached *and* detached SSBs."""
-        buffers = cls._ssb_buffers(machine, plan, extra)
-        return (
-            sum(ssb.stats.flushes for ssb in buffers),
-            sum(ssb.stats.htm_aborts for ssb in buffers),
-        )
-
-    def _record_window(self, telemetry: RunTelemetry, marker: dict,
-                       machine: Machine, pmu: PerformanceMonitoringUnit,
-                       driver: KernelDriver, pipeline: DetectionPipeline,
-                       plan: Optional[RepairPlan], stalled: bool,
-                       repair_state: str, extra_buffers=()) -> None:
-        """Close one telemetry window: deltas since ``marker``.
-
-        Also updates the metrics registry, whose snapshot rides along
-        with the window (``telemetry.snapshots``).
-
-        The marker is a *high-water mark*: a detector restore can
-        legitimately regress pipeline totals (cold start from a
-        compacted journal after every checkpoint generation proved
-        corrupt), so deltas clamp at zero and the marker never moves
-        backwards — replay then only counts progress past the totals
-        already reported.
-        """
-        end = machine.cycle
-        flushes, aborts = self._ssb_totals(machine, plan, extra_buffers)
-        totals = {
-            "hitm": pmu.total_hitm_count,
-            "seen": pipeline.stats.records_seen,
-            "admitted": pipeline.stats.records_admitted,
-            "dropped": driver.records_dropped,
-            "detector": pipeline.stats.detector_cycles,
-            "driver": driver.driver_cycles,
-            "flushes": flushes,
-            "aborts": aborts,
-        }
-        deltas = {
-            key: max(0, totals[key] - marker[key]) for key in totals
-        }
-        start = marker["cycle"]
-        duration = end - start
-        rate = (
-            deltas["hitm"] * CYCLES_PER_SECOND / duration
-            if duration > 0 else 0.0
-        )
-        window = WindowStats(
-            index=len(telemetry.windows),
-            start_cycle=start,
-            end_cycle=end,
-            stalled=stalled,
-            repair_state=repair_state,
-            hitm_events=deltas["hitm"],
-            hitm_rate=rate,
-            records_seen=deltas["seen"],
-            records_admitted=deltas["admitted"],
-            records_dropped=deltas["dropped"],
-            detector_cycles=deltas["detector"],
-            driver_cycles=deltas["driver"],
-            ssb_flushes=deltas["flushes"],
-            ssb_htm_aborts=deltas["aborts"],
-        )
-        for key in totals:
-            marker[key] = max(totals[key], marker[key])
-        marker["cycle"] = end
-        metrics = telemetry.metrics
-        metrics.counter("hitm.events").inc(window.hitm_events)
-        metrics.counter("records.seen").inc(window.records_seen)
-        metrics.counter("records.admitted").inc(window.records_admitted)
-        metrics.counter("records.dropped").inc(window.records_dropped)
-        metrics.counter("detector.cycles").inc(window.detector_cycles)
-        metrics.counter("driver.cycles").inc(window.driver_cycles)
-        metrics.counter("ssb.flushes").inc(window.ssb_flushes)
-        metrics.counter("ssb.htm_aborts").inc(window.ssb_htm_aborts)
-        metrics.counter("detector.stalled_windows").inc(1 if stalled else 0)
-        metrics.gauge("window.hitm_rate").set(round(rate, 6))
-        metrics.gauge("repair.attached").set(
-            1 if repair_state == "attached" else 0
-        )
-        metrics.histogram("window.hitm_rate_hist").observe(round(rate, 6))
-        telemetry.record_window(window)
-
-    @classmethod
-    def _finalize_health(cls, health: "RunHealth", machine: Machine,
-                         driver: KernelDriver, injector: FaultInjector,
-                         plan: Optional[RepairPlan],
-                         pipeline: Optional[DetectionPipeline] = None,
-                         runtime: Optional[ResilienceRuntime] = None) -> None:
-        if pipeline is not None:
-            health.undecodable_pcs = pipeline.stats.undecodable_pcs
-        health.records_dropped = driver.records_dropped
-        health.records_lost = injector.fired["pebs.record_drop"]
-        health.records_corrupted = injector.fired["pebs.record_corrupt"]
-        health.htm_aborts = machine.htm.aborts
-        health.injected_htm_aborts = injector.fired["htm.abort"]
-        extra = runtime.detached_buffers if runtime is not None else ()
-        health.ssb_fallback_activations = sum(
-            ssb.stats.fallback_activations
-            for ssb in cls._ssb_buffers(machine, plan, extra)
-        )
-        health.faults_injected = injector.total_fired
-        if runtime is not None:
-            supervisor = runtime.supervisor
-            health.detector_crashes = supervisor["detector"].crashes
-            health.detector_crash_restarts = supervisor["detector"].restarts
-            health.driver_crashes = supervisor["driver"].crashes
-            health.driver_crash_restarts = supervisor["driver"].restarts
-            health.breaker_trips = sum(
-                component.breaker_trips
-                for component in supervisor.components
-            )
-            health.records_replayed = runtime.records_replayed
-            health.records_deduped = runtime.records_deduped
-            health.checkpoints_written = runtime.checkpoints.written
-            health.checkpoints_restored = runtime.checkpoints.restored
-            health.checkpoints_corrupt = runtime.checkpoints.corrupt_detected
-
-    # ------------------------------------------------------------------
-    # Repair trigger (Section 4.4)
-    # ------------------------------------------------------------------
-
-    def _maybe_repair(self, machine: Machine, pipeline: DetectionPipeline,
-                      tracer: Optional[EventTracer] = None,
-                      ) -> Optional[RepairPlan]:
-        """Check FS rates; build a plan if they exceed the trigger."""
-        interim = pipeline.report(machine.cycle, self.config.rate_threshold)
-        fs_lines = interim.repair_candidates(
-            min_total_hitm_rate=self.config.repair_trigger_rate
-        )
-        if not fs_lines:
-            return None
-        contending_pcs: Set[int] = set()
-        for line in fs_lines:
-            contending_pcs.update(
-                pipeline.contending_pcs_for_line(line.location)
-            )
-        if not contending_pcs:
-            return None
-        if tracer is not None and tracer.enabled:
-            tracer.emit(
-                "repair.trigger", machine.cycle,
-                lines=[str(line.location) for line in fs_lines],
-                pcs=len(contending_pcs),
-            )
-        return self.repairer.plan(
-            machine.program, contending_pcs,
-            tracer=tracer if tracer is not None else NULL_TRACER,
-            cycle=machine.cycle,
         )

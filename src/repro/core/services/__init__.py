@@ -1,0 +1,39 @@
+"""The LASER service kernel.
+
+``Laser.run_built`` used to be a 1000-line monolith interleaving the
+PEBS poll, detection windows, repair lifecycle, supervision,
+checkpointing and telemetry.  This package is its decomposition: a
+:class:`RunContext` bag of shared run state, a :class:`Service`
+protocol with explicit lifecycle hooks, five concrete services — one
+per concern — and a slim deterministic :class:`Scheduler` that owns
+the run slices and the ordering contract between them.  The paper's
+own architecture has the same boundary (driver / detector / repairer
+are separate processes in LASER, HPCA 2016); the kernel keeps each
+policy component swappable behind a stable interface.
+
+The decomposition is behavior-preserving by construction: cycles,
+reports, trace byte streams and RunHealth are bit-identical to the
+pre-kernel monolith per seed (pinned by ``tests/test_services.py``
+against a recorded golden).
+"""
+
+from repro.core.services.base import Service
+from repro.core.services.context import DetectorState, RunContext
+from repro.core.services.detection import DetectionService
+from repro.core.services.driver import DriverPollService
+from repro.core.services.repair import RepairService
+from repro.core.services.resilience import ResilienceService
+from repro.core.services.scheduler import Scheduler
+from repro.core.services.telemetry import TelemetryService
+
+__all__ = [
+    "Service",
+    "RunContext",
+    "DetectorState",
+    "Scheduler",
+    "DriverPollService",
+    "DetectionService",
+    "RepairService",
+    "ResilienceService",
+    "TelemetryService",
+]

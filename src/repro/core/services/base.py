@@ -1,0 +1,61 @@
+"""The service protocol of the LASER run kernel.
+
+A *service* is one independently-lifecycled concern of a monitored run
+— driver polling, detection, repair, resilience, telemetry.  The
+:class:`~repro.core.services.scheduler.Scheduler` owns the run slices
+and drives every service through the same explicit lifecycle:
+
+* ``on_start`` — once, before the first machine slice.
+* ``on_poll`` — every check-interval boundary, including the final
+  (application-finished) one.  This is the detector's poll slice:
+  supervision, driver drain, pipeline ingest and the telemetry window
+  all happen here, in scheduler-defined service order.
+* ``on_check_interval`` — after a *successful* poll on a non-final
+  interval: repair evaluation and checkpoint cadence.
+* ``on_checkpoint_save(ctx, state)`` / ``on_checkpoint_restore(ctx,
+  state)`` — contribute to / reconcile against one checkpoint payload.
+  ``state`` is the (json-serializable) checkpoint dict; on restore it
+  is ``None`` for a checkpoint-less cold start.
+* ``on_exit`` — once, after the application finishes: exit accounting,
+  offline recovery and the final drain.
+* ``health(ctx)`` — contribute this service's counters to the run's
+  :class:`~repro.core.health.RunHealth`.
+
+Hooks default to no-ops so a service implements only the slices it
+participates in.  Services communicate through the shared
+:class:`~repro.core.services.context.RunContext`; ordering between
+services within a slice is the scheduler's contract, not theirs.
+"""
+
+__all__ = ["Service"]
+
+
+class Service:
+    """Base class: every lifecycle hook is an explicit no-op."""
+
+    #: Display name (progress traces, test assertions).
+    name = "service"
+
+    def on_start(self, ctx) -> None:
+        """Wire initial state; runs before the first machine slice."""
+
+    def on_poll(self, ctx) -> None:
+        """One check-interval poll slice (every interval, even the last)."""
+
+    def on_check_interval(self, ctx) -> None:
+        """Post-poll evaluation on a non-final, successfully-polled interval."""
+
+    def on_checkpoint_save(self, ctx, state: dict) -> None:
+        """Add this service's durable state to the checkpoint payload."""
+
+    def on_checkpoint_restore(self, ctx, state) -> None:
+        """Rebuild from a checkpoint payload (``None`` = cold start)."""
+
+    def on_exit(self, ctx) -> None:
+        """Application finished: exit accounting and final drains."""
+
+    def health(self, ctx) -> None:
+        """Contribute this service's counters to ``ctx.health``."""
+
+    def __repr__(self):
+        return "<%s %r>" % (type(self).__name__, self.name)

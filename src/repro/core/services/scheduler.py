@@ -1,0 +1,115 @@
+"""The run kernel: a slim deterministic scheduler over the services.
+
+The scheduler owns the machine's run slices and the order in which the
+services see each lifecycle moment; the services own the behavior.
+Ordering within a slice is a kernel contract (and a bit-identity
+requirement — fault sites are consulted in slice order):
+
+* **poll slice** (every interval boundary, including the final one):
+  resilience (supervision, due restarts) → driver poll (drain, crash
+  and stall sites) → detection (ingest + window roll) → repair (no-op)
+  → telemetry (close the window).
+* **check-interval slice** (non-final interval, successful poll only):
+  driver → detection (no-ops) → repair (trigger/watchdog/backoff) →
+  resilience (checkpoint cadence — after repair, so an attach-time
+  checkpoint keeps its historical position) → telemetry (no-op).
+* **exit slice**: resilience (``was_down`` verdict) → driver poll
+  (exit-backlog accounting, *before* the final drain claims it) →
+  detection (final drain / offline recovery) → repair (no-op) →
+  telemetry (catch-up window).
+
+Checkpoint payloads are assembled by fanning ``on_checkpoint_save``
+across the services (detection: pipeline + loop state; resilience:
+journal watermark) and restored by fanning ``on_checkpoint_restore``
+(detection: load or cold-start; repair: attachment reconciliation
+against the runtime's durable authority) — the fan-out orders are
+fixed here too.
+"""
+
+__all__ = ["Scheduler"]
+
+
+class Scheduler:
+    """Deterministic composition of the five run services."""
+
+    def __init__(self, ctx, resilience, driver_poll, detection, repair,
+                 telemetry):
+        self.ctx = ctx
+        self.resilience = resilience
+        self.driver_poll = driver_poll
+        self.detection = detection
+        self.repair = repair
+        self.telemetry = telemetry
+        #: Uniform registration order (start/health fan-outs).
+        self.services = (resilience, driver_poll, detection, repair,
+                         telemetry)
+        self._poll_order = (resilience, driver_poll, detection, repair,
+                            telemetry)
+        self._check_order = (driver_poll, detection, repair, resilience,
+                             telemetry)
+        self._exit_order = (resilience, driver_poll, detection, repair,
+                            telemetry)
+        self._save_order = (detection, resilience)
+        self._restore_order = (detection, repair)
+        ctx.scheduler = self
+
+    # ------------------------------------------------------------------
+    # Checkpoint fan-outs (invoked by the resilience service)
+    # ------------------------------------------------------------------
+
+    def checkpoint_state(self, ctx) -> dict:
+        """Assemble one checkpoint payload from service contributions."""
+        state: dict = {}
+        for service in self._save_order:
+            service.on_checkpoint_save(ctx, state)
+        return state
+
+    def restore_state(self, ctx, state) -> None:
+        """Fan a loaded payload (or ``None`` = cold start) back out."""
+        for service in self._restore_order:
+            service.on_checkpoint_restore(ctx, state)
+
+    # ------------------------------------------------------------------
+    # The run loop
+    # ------------------------------------------------------------------
+
+    def run(self, max_cycles: int):
+        """Drive the machine to completion; returns the final report."""
+        ctx = self.ctx
+        config, machine = ctx.config, ctx.machine
+        ctx.tracer.emit(
+            "laser.run_begin", 0, program=ctx.program.name,
+            sample_after_value=config.sample_after_value,
+            check_interval=config.check_interval_cycles,
+            repair_enabled=config.repair_enabled,
+        )
+        for service in self.services:
+            service.on_start(ctx)
+        next_check = config.check_interval_cycles
+        while True:
+            result = machine.run(until_cycle=next_check,
+                                 max_cycles=max_cycles)
+            ctx.begin_interval()
+            for service in self._poll_order:
+                service.on_poll(ctx)
+            if result.finished:
+                break
+            next_check = machine.cycle + config.check_interval_cycles
+            if not ctx.polled:
+                continue  # a stalled, crashed or down detector evaluates nothing
+            for service in self._check_order:
+                service.on_check_interval(ctx)
+        for service in self._exit_order:
+            service.on_exit(ctx)
+        report = ctx.pipeline.report(machine.cycle, config.rate_threshold)
+        for service in self.services:
+            service.health(ctx)
+        # Whole-run fault accounting belongs to the kernel, not to any
+        # one service.
+        ctx.health.faults_injected = ctx.injector.total_fired
+        ctx.tracer.emit(
+            "laser.run_end", machine.cycle, cycles=machine.cycle,
+            hitm_events=ctx.pmu.total_hitm_count, repaired=ctx.st.repaired,
+            degraded=ctx.health.degraded,
+        )
+        return report

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import LaserConfig
 from repro.core.laser import Laser, LaserRunResult
+from repro.experiments.runner import SweepRunner
 from repro.faults import FaultPlan
 from repro.workloads import get_workload
 
@@ -166,17 +167,26 @@ def run_chaos_soak(workloads: Sequence[str] = SOAK_WORKLOADS,
                    schedules: Optional[Sequence[str]] = None,
                    seeds: Sequence[int] = (0,),
                    config: Optional[LaserConfig] = None,
-                   ) -> List[ChaosOutcome]:
-    """The full sweep: every (workload, schedule, seed) cell."""
-    outcomes = []
-    for workload in workloads:
-        for schedule in (schedules or sorted(CRASH_SCHEDULES)):
-            for seed in seeds:
-                outcomes.append(
-                    run_chaos_case(workload, schedule, seed=seed,
-                                   config=config)
-                )
-    return outcomes
+                   workers: Optional[int] = None) -> List[ChaosOutcome]:
+    """The full sweep: every (workload, schedule, seed) cell.
+
+    Cells fan out over a :class:`SweepRunner` process pool
+    (``workers=None`` sizes to the host; 1 = serial) and merge back in
+    grid order, so the outcome list is identical at any worker count.
+    """
+    cells = [
+        (workload, schedule, seed, config)
+        for workload in workloads
+        for schedule in (schedules or sorted(CRASH_SCHEDULES))
+        for seed in seeds
+    ]
+    return SweepRunner(workers).starmap(_chaos_cell, cells)
+
+
+def _chaos_cell(workload: str, schedule: str, seed: int,
+                config: Optional[LaserConfig]) -> ChaosOutcome:
+    """One soak cell, shaped for pool workers (module-level, picklable)."""
+    return run_chaos_case(workload, schedule, seed=seed, config=config)
 
 
 def render_outcomes(outcomes: Sequence[ChaosOutcome]) -> str:
@@ -220,9 +230,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--seeds", nargs="*", type=int, default=[0])
     parser.add_argument("--out", default=None,
                         help="write the JSONL recovery-trace artifact here")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool width (default: host cores; "
+                             "1 = serial)")
     args = parser.parse_args(argv)
     outcomes = run_chaos_soak(workloads=args.workloads,
-                              schedules=args.schedules, seeds=args.seeds)
+                              schedules=args.schedules, seeds=args.seeds,
+                              workers=args.workers)
     print(render_outcomes(outcomes))
     if args.out:
         write_artifact(outcomes, args.out)

@@ -8,9 +8,19 @@ experiment entry point (``run_overhead``, ``run_speedups``,
 ``run_sav_sweep``, the bench writer) accepts ``runs`` and threads it
 through to these helpers, so a config that wants the paper's full 10
 can ask for it.
+
+:class:`SweepRunner` is the single fan-out path for every multi-run
+experiment: the chaos soak, the threshold sweep and the bench writer
+all shard their (workload, seed, …) cells over one
+``ProcessPoolExecutor`` instead of hand-rolling three bespoke serial
+loops.  Cells are independent and seed-deterministic, and the merge
+preserves submission order, so results are byte-identical at any
+worker count — parallelism changes wall-clock only.
 """
 
-from typing import Callable, List, Optional
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence
 
 from repro.core.config import LaserConfig
 from repro.core.laser import Laser, LaserRunResult
@@ -26,6 +36,7 @@ __all__ = [
     "average_cycles",
     "trimmed_mean",
     "DEFAULT_RUNS",
+    "SweepRunner",
 ]
 
 #: Seeds per measurement.  The paper averages 10 *runs* of a >1 minute
@@ -36,6 +47,67 @@ __all__ = [
 #: suite wall-clock.  Pass ``runs=10`` to any experiment entry point to
 #: reproduce the paper's count exactly.
 DEFAULT_RUNS = 5
+
+
+class SweepRunner:
+    """Deterministic parallel fan-out over independent experiment cells.
+
+    ``map(fn, cells)`` applies a module-level (picklable) ``fn`` to
+    every cell and returns the results *in cell order* — the merge is
+    deterministic regardless of which worker finished first, so a
+    sweep's output is identical at any worker count.
+
+    ``workers=None`` sizes the pool to the host (``os.cpu_count``);
+    ``workers<=1`` — or a single cell — runs serially in-process with
+    no pool at all.  Environments that forbid subprocess pools (some
+    sandboxes block the semaphores ``ProcessPoolExecutor`` needs) fall
+    back to the serial path with accounting in ``used_workers``.
+
+    Workers receive *cell specs* (names, seeds, configs — small
+    picklable values) and build the heavy objects themselves; results
+    should likewise be reduced, picklable summaries, not live machines.
+    """
+
+    def __init__(self, workers: Optional[int] = None):
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        #: Pool width actually used by the last ``map`` (1 = serial).
+        self.used_workers = 1
+
+    def map(self, fn: Callable, cells: Iterable) -> List:
+        cells = list(cells)
+        width = min(self.workers, len(cells))
+        if width <= 1:
+            self.used_workers = 1
+            return [fn(cell) for cell in cells]
+        try:
+            with ProcessPoolExecutor(max_workers=width) as pool:
+                results = list(pool.map(fn, cells))
+        except (OSError, PermissionError):
+            # No subprocess pool available on this host: degrade to the
+            # serial path rather than failing the sweep.
+            self.used_workers = 1
+            return [fn(cell) for cell in cells]
+        self.used_workers = width
+        return results
+
+    def starmap(self, fn: Callable, cells: Iterable[Sequence]) -> List:
+        """``map`` for cells that are argument tuples."""
+        return self.map(_Star(fn), cells)
+
+    def __repr__(self):
+        return "<SweepRunner workers=%d>" % self.workers
+
+
+class _Star:
+    """Picklable adapter: unpack one cell tuple into ``fn(*cell)``."""
+
+    def __init__(self, fn: Callable):
+        self.fn = fn
+
+    def __call__(self, cell):
+        return self.fn(*cell)
 
 
 def run_built_native(built: BuiltWorkload, seed: int = 0,

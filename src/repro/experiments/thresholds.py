@@ -5,15 +5,21 @@ The paper sweeps LASERDETECT's rate threshold from 32 to 64K HITMs/sec
 the suite.  Because thresholds are applied at *report* time, the sweep
 needs only one monitored run per workload — the reports are re-cut
 offline, exactly as Section 4.2 describes.
+
+Workloads are independent, so the sweep shards per-workload over the
+shared :class:`~repro.experiments.runner.SweepRunner` process pool:
+each worker monitors its workload once, re-cuts its report at every
+threshold, and returns just the (fp, fn) grid; the merge sums the
+grids in workload order, so totals are identical at any worker count.
 """
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.config import LaserConfig
 from repro.experiments.accuracy import score_report_lines
-from repro.experiments.runner import run_laser_on
+from repro.experiments.runner import SweepRunner, run_laser_on
 from repro.experiments.tables import render_table
-from repro.workloads.registry import all_workloads
+from repro.workloads.registry import all_workloads, get_workload
 
 __all__ = ["THRESHOLDS", "ThresholdSweepResult", "run_threshold_sweep"]
 
@@ -44,27 +50,39 @@ class ThresholdSweepResult:
                             title="Figure 9: accuracy vs rate threshold")
 
 
+def _threshold_cell(name: str, seed: int, scale: float,
+                    thresholds: Sequence[float],
+                    config: Optional[LaserConfig]) -> List[Tuple[int, int]]:
+    """One workload's sweep: monitor once, re-cut at every threshold.
+
+    Module-level and reduced-output on purpose: pool workers receive
+    only the cell spec and return only the per-threshold (fp, fn)
+    pairs, never a live pipeline.
+    """
+    workload = get_workload(name)
+    result = run_laser_on(workload, seed=seed, scale=scale, config=config)
+    scores = []
+    for threshold in thresholds:
+        report = result.pipeline.report(result.cycles, threshold)
+        score = score_report_lines(workload, report.reported_locations())
+        scores.append((score["fp"], score["fn"]))
+    return scores
+
+
 def run_threshold_sweep(workloads=None, seed: int = 0, scale: float = 1.0,
                         thresholds: Optional[List[float]] = None,
-                        config: Optional[LaserConfig] = None) -> ThresholdSweepResult:
+                        config: Optional[LaserConfig] = None,
+                        workers: Optional[int] = None) -> ThresholdSweepResult:
     cfg = config or LaserConfig()
     sweep = [float(t) for t in (thresholds or THRESHOLDS)]
-    # One monitored run per workload; keep the full pipelines around and
-    # re-cut their reports per threshold.
-    monitored = []
-    for workload in workloads or all_workloads():
-        result = run_laser_on(workload, seed=seed, scale=scale, config=cfg)
-        monitored.append((workload, result))
+    names = [w.name for w in (workloads or all_workloads())]
+    cells = [(name, seed, scale, tuple(sweep), config) for name in names]
+    grids = SweepRunner(workers).starmap(_threshold_cell, cells)
 
     points = []
-    for threshold in sweep:
-        total_fp = 0
-        total_fn = 0
-        for workload, result in monitored:
-            report = result.pipeline.report(result.cycles, threshold)
-            score = score_report_lines(workload, report.reported_locations())
-            total_fp += score["fp"]
-            total_fn += score["fn"]
+    for index, threshold in enumerate(sweep):
+        total_fp = sum(grid[index][0] for grid in grids)
+        total_fn = sum(grid[index][1] for grid in grids)
         points.append((threshold, total_fp, total_fn))
     return ThresholdSweepResult(points, cfg.rate_threshold)
 

@@ -18,7 +18,7 @@ fields vary with the host and are excluded from any equality check.
 Usage::
 
     python -m repro.obs.bench --out BENCH_obs.json [--runs N]
-        [--scale F] [--workloads a,b,c]
+        [--scale F] [--workloads a,b,c] [--workers W]
 """
 
 import argparse
@@ -28,7 +28,12 @@ import time
 from typing import Dict, List, Optional
 
 from repro.core.config import LaserConfig
-from repro.experiments.runner import run_laser_on, run_native, trimmed_mean
+from repro.experiments.runner import (
+    SweepRunner,
+    run_laser_on,
+    run_native,
+    trimmed_mean,
+)
 from repro.experiments.tables import geomean
 
 __all__ = ["BENCH_SCHEMA", "DEFAULT_BENCH_WORKLOADS", "collect_bench",
@@ -104,12 +109,20 @@ def _bench_one(name: str, runs: int, scale: float,
 
 def collect_bench(workload_names: Optional[List[str]] = None,
                   runs: int = DEFAULT_BENCH_RUNS, scale: float = 1.0,
-                  config: Optional[LaserConfig] = None) -> Dict:
-    """Measure the suite; returns the ``BENCH_obs.json`` document."""
+                  config: Optional[LaserConfig] = None,
+                  workers: Optional[int] = None) -> Dict:
+    """Measure the suite; returns the ``BENCH_obs.json`` document.
+
+    Workloads shard over the :class:`SweepRunner` process pool; the
+    simulated-cycle fields are seed-deterministic and merge in name
+    order, so they are identical at any worker count (wall-clock
+    fields are host-dependent either way, and already excluded from
+    equality checks).
+    """
     names = workload_names or DEFAULT_BENCH_WORKLOADS
-    workloads: Dict[str, Dict] = {}
-    for name in names:
-        workloads[name] = _bench_one(name, runs, scale, config)
+    cells = [(name, runs, scale, config) for name in names]
+    measured = SweepRunner(workers).starmap(_bench_one, cells)
+    workloads: Dict[str, Dict] = dict(zip(names, measured))
     overheads = [w["overhead"] for w in workloads.values() if w["overhead"]]
     return {
         "schema": BENCH_SCHEMA,
@@ -188,13 +201,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--workloads", default=None,
                         help="comma-separated workload names "
                              "(default: the bench suite)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool width (default: host cores; "
+                             "1 = serial)")
     parser.add_argument("--against", metavar="BASELINE",
                         help="also print simulated-cycle drift vs a "
                              "committed baseline snapshot")
     args = parser.parse_args(argv)
     names = args.workloads.split(",") if args.workloads else None
     bench = write_bench(args.out, workload_names=names, runs=args.runs,
-                        scale=args.scale)
+                        scale=args.scale, workers=args.workers)
     print(render_bench(bench))
     print("wrote %s (%d workloads)" % (args.out, len(bench["workloads"])))
     if args.against:

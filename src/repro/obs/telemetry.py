@@ -97,6 +97,35 @@ class RunTelemetry:
         snapshot.update(self.metrics.snapshot())
         self.snapshots.append(snapshot)
 
+    def close_window(self, window: WindowStats) -> None:
+        """Fold one closed window into the metrics registry and record it.
+
+        The registry update order is part of the snapshot byte stream
+        (snapshots serialize name-keyed but first-registration order
+        shapes histograms/gauges creation), so it lives here, next to
+        the snapshot it feeds.
+        """
+        metrics = self.metrics
+        metrics.counter("hitm.events").inc(window.hitm_events)
+        metrics.counter("records.seen").inc(window.records_seen)
+        metrics.counter("records.admitted").inc(window.records_admitted)
+        metrics.counter("records.dropped").inc(window.records_dropped)
+        metrics.counter("detector.cycles").inc(window.detector_cycles)
+        metrics.counter("driver.cycles").inc(window.driver_cycles)
+        metrics.counter("ssb.flushes").inc(window.ssb_flushes)
+        metrics.counter("ssb.htm_aborts").inc(window.ssb_htm_aborts)
+        metrics.counter("detector.stalled_windows").inc(
+            1 if window.stalled else 0
+        )
+        metrics.gauge("window.hitm_rate").set(round(window.hitm_rate, 6))
+        metrics.gauge("repair.attached").set(
+            1 if window.repair_state == "attached" else 0
+        )
+        metrics.histogram("window.hitm_rate_hist").observe(
+            round(window.hitm_rate, 6)
+        )
+        self.record_window(window)
+
     # ------------------------------------------------------------------
     # Querying
     # ------------------------------------------------------------------

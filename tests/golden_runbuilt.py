@@ -1,0 +1,104 @@
+"""Golden-pin collector for ``Laser.run_built`` bit-identity.
+
+The service-kernel refactor (and anything after it) must keep a run's
+observable outputs *bit-identical* per seed: simulated cycles, the
+rendered contention report, the trace JSONL byte stream, the windowed
+telemetry byte stream and the RunHealth dict.  This module materializes
+those outputs for a fixed grid of (workload, seed, crash-schedule)
+cells so ``tests/test_services.py`` can compare any future HEAD against
+a recording taken at the pre-refactor commit.
+
+Large byte streams (trace JSONL, windows JSONL) are pinned by SHA-256
+so the golden file stays reviewable; cycles, report lines and the
+health dict are stored verbatim.
+
+Regenerate (only when an intentional behavior change lands)::
+
+    PYTHONPATH=src:tests python tests/golden_runbuilt.py --regen
+"""
+
+import hashlib
+import json
+import os
+from typing import List, Optional
+
+from repro.core.config import LaserConfig
+from repro.core.laser import Laser
+from repro.experiments.chaos import schedule_plan
+from repro.workloads import get_workload
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden",
+                           "run_built_golden.json")
+
+#: 3 workloads x 3 seeds, fault-free (the ISSUE's bit-identity grid)...
+GOLDEN_WORKLOADS = ("histogram", "histogram'", "linear_regression")
+GOLDEN_SEEDS = (0, 1, 2)
+#: ...plus chaotic cells pinning the crash-recovery paths byte-for-byte
+#: (restore, replay, dedup, corrupt-checkpoint fallback).  Chaotic runs
+#: are deterministic per seed too, so they pin just as hard.
+GOLDEN_SCHEDULES = ("double-fault", "corrupt-fallback")
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def collect_cell(workload_name: str, seed: int,
+                 schedule: Optional[str] = None) -> dict:
+    """One golden cell: every bit-identity-relevant output of a run."""
+    cfg = LaserConfig().replace(seed=seed, trace_enabled=True)
+    faults = schedule_plan(schedule, seed=seed) if schedule else None
+    result = Laser(cfg, faults=faults).run_workload(
+        get_workload(workload_name))
+    return {
+        "workload": workload_name,
+        "seed": seed,
+        "schedule": schedule,
+        "cycles": result.cycles,
+        "report": result.report.render().splitlines(),
+        "health": result.health.as_dict(),
+        "trace_events": len(result.telemetry.tracer),
+        "trace_sha256": _sha256(result.telemetry.tracer.to_jsonl()),
+        "windows": result.telemetry.window_count,
+        "windows_sha256": _sha256(result.telemetry.windows_jsonl()),
+    }
+
+
+def golden_cells() -> List[dict]:
+    """The (workload, seed, schedule) grid, in deterministic order."""
+    cells = [
+        {"workload": w, "seed": s, "schedule": None}
+        for w in GOLDEN_WORKLOADS for s in GOLDEN_SEEDS
+    ]
+    cells.extend(
+        {"workload": w, "seed": 0, "schedule": sched}
+        for w in GOLDEN_WORKLOADS for sched in GOLDEN_SCHEDULES
+    )
+    return cells
+
+
+def collect_all() -> List[dict]:
+    return [collect_cell(c["workload"], c["seed"], c["schedule"])
+            for c in golden_cells()]
+
+
+def load_golden() -> List[dict]:
+    with open(GOLDEN_PATH) as fh:
+        return json.load(fh)
+
+
+def write_golden(cells: List[dict]) -> None:
+    os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
+    with open(GOLDEN_PATH, "w") as fh:
+        json.dump(cells, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" not in sys.argv:
+        raise SystemExit("refusing to overwrite the golden without --regen")
+    recorded = collect_all()
+    write_golden(recorded)
+    print("wrote %s (%d cells)" % (GOLDEN_PATH, len(recorded)))
