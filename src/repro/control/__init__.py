@@ -1,0 +1,31 @@
+"""Closed-loop overload control for the LASER monitor.
+
+LASER's 2% overhead promise (Section 7) rests on a fixed SAV of 19 and
+record flow shaped like the paper's 35 workloads.  This package is the
+deployability answer for everything else: a seed-deterministic
+controller that watches the windowed telemetry each check interval and
+actuates the monitor's three load knobs — the PEBS Sample-After Value,
+the detector poll cadence, and a per-interval record admission budget
+enforced at the kernel-driver boundary — through a hysteresis ladder,
+so a record-rate burst costs time-to-detect instead of correctness or
+unbounded memory.
+
+The controller itself (:class:`OverloadController`) is a pure policy
+object: signals in, knob settings out, no clock of its own.  Mounting
+it in a run is the job of
+:class:`repro.core.services.control.ControlService`.
+"""
+
+from repro.control.controller import (
+    ControlMode,
+    ControlSignals,
+    KnobSettings,
+    OverloadController,
+)
+
+__all__ = [
+    "ControlMode",
+    "ControlSignals",
+    "KnobSettings",
+    "OverloadController",
+]

@@ -48,6 +48,16 @@ class LaserConfig:
         restart_backoff_max: int = 8,
         restart_jitter: float = 0.0,
         max_component_restarts: int = 3,
+        control_enabled: bool = False,
+        control_budget_records: int = 128,
+        control_overload_ratio: float = 1.0,
+        control_recover_ratio: float = 0.5,
+        control_escalate_after: int = 2,
+        control_recover_after: int = 3,
+        control_passthrough_after: int = 6,
+        control_sav_step: int = 2,
+        control_poll_step: int = 2,
+        control_max_sav: int = 512,
     ):
         if sample_after_value < 1:
             raise ValueError("SAV must be >= 1")
@@ -73,6 +83,22 @@ class LaserConfig:
             raise ValueError("restart_jitter must be >= 0")
         if max_component_restarts < 0:
             raise ValueError("max_component_restarts must be >= 0")
+        if control_budget_records < 1:
+            raise ValueError("control_budget_records must be >= 1")
+        if control_overload_ratio <= 0.0 or control_recover_ratio <= 0.0:
+            raise ValueError("control ratios must be > 0")
+        if control_recover_ratio >= control_overload_ratio:
+            raise ValueError(
+                "control_recover_ratio must be < control_overload_ratio "
+                "(the gap is the hysteresis band)"
+            )
+        if (control_escalate_after < 1 or control_recover_after < 1
+                or control_passthrough_after < 1):
+            raise ValueError("control streak thresholds must be >= 1")
+        if control_sav_step < 2 or control_poll_step < 2:
+            raise ValueError("control knob steps must be >= 2")
+        if control_max_sav < sample_after_value:
+            raise ValueError("control_max_sav must be >= sample_after_value")
         #: PEBS Sample-After Value; 19 is the paper's default (a prime,
         #: per the PEBS experience reports it cites).
         self.sample_after_value = sample_after_value
@@ -147,6 +173,35 @@ class LaserConfig:
         #: Restart budget per component before the circuit breaker
         #: trips and the run degrades (detection-only, then passthrough).
         self.max_component_restarts = max_component_restarts
+        #: Closed-loop overload control (``repro.control``).  Off by
+        #: default: a disabled controller touches no knob and a run is
+        #: bit-identical to one without the control machinery at all.
+        self.control_enabled = control_enabled
+        #: Record admission the controller defends, per *base* check
+        #: interval.  Also the reference point for the overload and
+        #: recovery thresholds below.
+        self.control_budget_records = control_budget_records
+        #: An interval is overloaded when normalized record flow
+        #: exceeds this multiple of the budget (or anything dropped).
+        self.control_overload_ratio = control_overload_ratio
+        #: ...and calm only when flow falls below this multiple with a
+        #: clean driver; the gap between the two ratios is the
+        #: hysteresis band that keeps the ladder from flapping.
+        self.control_recover_ratio = control_recover_ratio
+        #: Consecutive overloaded intervals before escalating one rung.
+        self.control_escalate_after = control_escalate_after
+        #: Consecutive calm intervals before de-escalating one rung.
+        self.control_recover_after = control_recover_after
+        #: Higher bar for the final SHEDDING -> PASSTHROUGH rung
+        #: (parking the monitor is a last resort).
+        self.control_passthrough_after = control_passthrough_after
+        #: Per-rung multiplier applied to the SAV...
+        self.control_sav_step = control_sav_step
+        #: ...and to the poll interval.
+        self.control_poll_step = control_poll_step
+        #: Hard cap on the actuated SAV (sampling coarser than this
+        #: stops producing a usable rate estimate at all).
+        self.control_max_sav = control_max_sav
 
     def replace(self, **kwargs) -> "LaserConfig":
         """Return a copy with some fields overridden."""
@@ -177,6 +232,16 @@ class LaserConfig:
             restart_backoff_max=self.restart_backoff_max,
             restart_jitter=self.restart_jitter,
             max_component_restarts=self.max_component_restarts,
+            control_enabled=self.control_enabled,
+            control_budget_records=self.control_budget_records,
+            control_overload_ratio=self.control_overload_ratio,
+            control_recover_ratio=self.control_recover_ratio,
+            control_escalate_after=self.control_escalate_after,
+            control_recover_after=self.control_recover_after,
+            control_passthrough_after=self.control_passthrough_after,
+            control_sav_step=self.control_sav_step,
+            control_poll_step=self.control_poll_step,
+            control_max_sav=self.control_max_sav,
         )
         fields.update(kwargs)
         return LaserConfig(**fields)

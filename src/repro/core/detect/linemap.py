@@ -8,7 +8,10 @@ adjusted offline without rerunning the program.
 
 The aggregator counts *records*; to express the result as a HITM-event
 rate it multiplies by the sample-after value (each record stands for SAV
-events).
+events).  Records sampled while the overload controller held the SAV
+above base (:mod:`repro.control`) arrive with a ``weight`` — the SAV
+multiplier — and count as that many base-SAV records, so throttling
+thins the record stream without biasing the rates cut from it.
 """
 
 from typing import Dict, List, Optional
@@ -46,9 +49,9 @@ class LineStats:
         self.peak_window_rate = 0.0
         self._window_start_count = 0
 
-    def add(self, pc: int) -> None:
-        self.record_count += 1
-        self.pcs[pc] = self.pcs.get(pc, 0) + 1
+    def add(self, pc: int, weight: int = 1) -> None:
+        self.record_count += weight
+        self.pcs[pc] = self.pcs.get(pc, 0) + weight
 
     def cumulative_rate(self, duration_cycles: int,
                         sample_after_value: int) -> float:
@@ -87,7 +90,8 @@ class LineAggregator:
         self.unresolved_pcs = 0
         self._window_cycles_accumulated = 0
 
-    def add_record_pc(self, pc: int) -> Optional[SourceLocation]:
+    def add_record_pc(self, pc: int,
+                      weight: int = 1) -> Optional[SourceLocation]:
         """Attribute one record to the source line its PC maps to."""
         loc = self.program.location_of_pc(pc)
         if loc is None:
@@ -97,7 +101,7 @@ class LineAggregator:
         if stats is None:
             stats = LineStats(loc)
             self._lines[loc] = stats
-        stats.add(pc)
+        stats.add(pc, weight)
         return loc
 
     def roll_window(self, window_cycles: int) -> None:

@@ -88,7 +88,9 @@ class DetectionPipeline:
 
         # Stage: aggregate by source line (addresses are NOT consulted,
         # which is what makes location detection robust to address noise).
-        loc = self.aggregator.add_record_pc(record.pc)
+        # The record's weight is its base-SAV multiple: sampling thinned
+        # by the overload controller still estimates unbiased rates.
+        loc = self.aggregator.add_record_pc(record.pc, record.weight)
 
         # Stage: decode the PC through the load/store sets; records whose
         # PC is not a memory op (a skidded or random PC) cannot be decoded
@@ -106,9 +108,9 @@ class DetectionPipeline:
             return
         counts = self._sharing_by_line.setdefault(loc, [0, 0])
         if sharing is SharingType.TRUE_SHARING:
-            counts[0] += 1
+            counts[0] += record.weight
         else:
-            counts[1] += 1
+            counts[1] += record.weight
 
     def roll_window(self, window_cycles: int,
                     cycle: Optional[int] = None) -> None:

@@ -73,6 +73,19 @@ class RunHealth:
         HealthField("checkpoints_written", info=True),
         HealthField("checkpoints_restored"),
         HealthField("checkpoints_corrupt"),
+        # Overload control (``repro.control``).  All stay zero unless
+        # the controller actually left NOMINAL: shed records are lost
+        # observations, residency above NOMINAL is degraded time, and
+        # the knob excursions record how far sampling/cadence strayed
+        # from the configured base.
+        HealthField("records_shed"),
+        HealthField("control_mode_changes"),
+        HealthField("control_throttled_windows"),
+        HealthField("control_shedding_windows"),
+        HealthField("control_passthrough_windows"),
+        HealthField("control_sav_max_excess"),
+        HealthField("control_poll_max_excess"),
+        HealthField("control_stuck_intervals"),
     )
     #: Derived views (kept as the historical class-attribute names —
     #: they are part of the public surface; tests and harnesses iterate

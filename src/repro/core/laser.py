@@ -12,10 +12,11 @@ process.
 
 The run loop itself lives in the service kernel
 (:mod:`repro.core.services`): ``run_built`` composes a
-:class:`~repro.core.services.context.RunContext` with five services —
-driver poll, detection, repair, resilience, telemetry — under a
-deterministic :class:`~repro.core.services.scheduler.Scheduler`, and
-wraps the outcome.  Deployability is the paper's whole argument, so
+:class:`~repro.core.services.context.RunContext` with six services —
+driver poll, detection, repair, resilience, telemetry, overload
+control — under a deterministic
+:class:`~repro.core.services.scheduler.Scheduler`, and wraps the
+outcome.  Deployability is the paper's whole argument, so
 the kernel degrades rather than dies: stalls resync, rejected repairs
 back off, unprofitable repairs detach, crashed components restart from
 checkpoint + journal, exhausted restart budgets degrade the run
@@ -32,6 +33,7 @@ from repro.core.detect.report import ContentionReport
 from repro.core.health import RunHealth
 from repro.core.repair.manager import LaserRepair, RepairPlan
 from repro.core.services import (
+    ControlService,
     DetectionService,
     DetectorState,
     DriverPollService,
@@ -216,6 +218,7 @@ class Laser:
             detection=DetectionService(resilience),
             repair=RepairService(self.repairer, resilience),
             telemetry=TelemetryService(),
+            control=ControlService(),
         )
         report = scheduler.run(max_cycles=max_cycles)
         return LaserRunResult(

@@ -19,6 +19,7 @@ against a recorded golden).
 
 from repro.core.services.base import Service
 from repro.core.services.context import DetectorState, RunContext
+from repro.core.services.control import ControlService
 from repro.core.services.detection import DetectionService
 from repro.core.services.driver import DriverPollService
 from repro.core.services.repair import RepairService
@@ -31,6 +32,7 @@ __all__ = [
     "RunContext",
     "DetectorState",
     "Scheduler",
+    "ControlService",
     "DriverPollService",
     "DetectionService",
     "RepairService",

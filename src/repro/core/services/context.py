@@ -98,7 +98,8 @@ class RunContext:
                  "telemetry", "health", "driver", "pmu", "pipeline",
                  "repairer", "runtime", "st", "scheduler",
                  "interval", "recovery", "poll_records", "polled",
-                 "was_down")
+                 "was_down", "poll_interval_cycles", "control_mode",
+                 "poll_lag_cycles")
 
     def __init__(self, config, machine, program, injector, tracer,
                  telemetry, health, driver, pmu, pipeline, repairer,
@@ -128,6 +129,17 @@ class RunContext:
         self.polled = False
         # Exit-time scratch.
         self.was_down = False
+        #: The scheduler's *actuated* poll cadence: starts at the
+        #: configured check interval and is stretched/restored by the
+        #: overload controller (``repro.control``).
+        self.poll_interval_cycles = config.check_interval_cycles
+        #: The overload ladder mode in effect (``None`` = controller
+        #: off; the telemetry window serializes control extras only
+        #: when this is set).
+        self.control_mode = None
+        #: Age, in cycles, of the oldest record in the last non-empty
+        #: poll batch — the run's live detection-latency signal.
+        self.poll_lag_cycles = 0
 
     # ------------------------------------------------------------------
     # Clock and component views

@@ -55,6 +55,11 @@ class DriverPollService(Service):
                 ctx.tracer.emit("detector.resync", ctx.cycle,
                                 backlog=ctx.driver.pending_records)
             records = ctx.driver.flush_all()
+            if records:
+                # Detection latency: age of the batch's oldest record
+                # (flush_all returns timestamp order).  The overload
+                # controller reads this as its lag signal.
+                ctx.poll_lag_cycles = ctx.cycle - records[0].cycle
             if ctx.runtime is not None and injector.fires("detector.crash"):
                 # Post-read, pre-ack crash: the read batch is discarded
                 # unacknowledged; it stays below no mark, so replay
@@ -77,3 +82,4 @@ class DriverPollService(Service):
         ctx.health.records_dropped = ctx.driver.records_dropped
         ctx.health.records_lost = ctx.injector.fired["pebs.record_drop"]
         ctx.health.records_corrupted = ctx.injector.fired["pebs.record_corrupt"]
+        ctx.health.records_shed = ctx.driver.records_shed

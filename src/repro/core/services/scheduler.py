@@ -8,49 +8,62 @@ requirement — fault sites are consulted in slice order):
 * **poll slice** (every interval boundary, including the final one):
   resilience (supervision, due restarts) → driver poll (drain, crash
   and stall sites) → detection (ingest + window roll) → repair (no-op)
-  → telemetry (close the window).
+  → telemetry (close the window) → control (read the closed window,
+  actuate knobs for the next interval).
 * **check-interval slice** (non-final interval, successful poll only):
   driver → detection (no-ops) → repair (trigger/watchdog/backoff) →
   resilience (checkpoint cadence — after repair, so an attach-time
-  checkpoint keeps its historical position) → telemetry (no-op).
+  checkpoint keeps its historical position) → telemetry → control
+  (no-ops).
 * **exit slice**: resilience (``was_down`` verdict) → driver poll
   (exit-backlog accounting, *before* the final drain claims it) →
   detection (final drain / offline recovery) → repair (no-op) →
-  telemetry (catch-up window).
+  telemetry (catch-up window) → control (no-op).
 
 Checkpoint payloads are assembled by fanning ``on_checkpoint_save``
 across the services (detection: pipeline + loop state; resilience:
-journal watermark) and restored by fanning ``on_checkpoint_restore``
-(detection: load or cold-start; repair: attachment reconciliation
-against the runtime's durable authority) — the fan-out orders are
-fixed here too.
+journal watermark; control: ladder state, when enabled) and restored
+by fanning ``on_checkpoint_restore`` (detection: load or cold-start;
+repair: attachment reconciliation against the runtime's durable
+authority; control: re-actuate the restored mode's knobs) — the
+fan-out orders are fixed here too.
+
+The machine slice length is ``ctx.poll_interval_cycles`` — the
+*actuated* poll cadence, which starts at the configured check interval
+and is the overload controller's second knob.
 """
 
 __all__ = ["Scheduler"]
 
 
 class Scheduler:
-    """Deterministic composition of the five run services."""
+    """Deterministic composition of the six run services."""
 
     def __init__(self, ctx, resilience, driver_poll, detection, repair,
-                 telemetry):
+                 telemetry, control=None):
+        if control is None:
+            # Imported lazily so the base kernel types never depend on
+            # the control package at import time.
+            from repro.core.services.control import ControlService
+            control = ControlService()
         self.ctx = ctx
         self.resilience = resilience
         self.driver_poll = driver_poll
         self.detection = detection
         self.repair = repair
         self.telemetry = telemetry
+        self.control = control
         #: Uniform registration order (start/health fan-outs).
         self.services = (resilience, driver_poll, detection, repair,
-                         telemetry)
+                         telemetry, control)
         self._poll_order = (resilience, driver_poll, detection, repair,
-                            telemetry)
+                            telemetry, control)
         self._check_order = (driver_poll, detection, repair, resilience,
-                             telemetry)
+                             telemetry, control)
         self._exit_order = (resilience, driver_poll, detection, repair,
-                            telemetry)
-        self._save_order = (detection, resilience)
-        self._restore_order = (detection, repair)
+                            telemetry, control)
+        self._save_order = (detection, resilience, control)
+        self._restore_order = (detection, repair, control)
         ctx.scheduler = self
 
     # ------------------------------------------------------------------
@@ -85,7 +98,7 @@ class Scheduler:
         )
         for service in self.services:
             service.on_start(ctx)
-        next_check = config.check_interval_cycles
+        next_check = ctx.poll_interval_cycles
         while True:
             result = machine.run(until_cycle=next_check,
                                  max_cycles=max_cycles)
@@ -94,7 +107,7 @@ class Scheduler:
                 service.on_poll(ctx)
             if result.finished:
                 break
-            next_check = machine.cycle + config.check_interval_cycles
+            next_check = machine.cycle + ctx.poll_interval_cycles
             if not ctx.polled:
                 continue  # a stalled, crashed or down detector evaluates nothing
             for service in self._check_order:

@@ -27,7 +27,7 @@ class TelemetryService(Service):
     name = "telemetry"
 
     _MARKER_KEYS = ("hitm", "seen", "admitted", "dropped", "detector",
-                    "driver", "flushes", "aborts")
+                    "driver", "flushes", "aborts", "offered", "shed")
 
     def __init__(self):
         self._marker = None
@@ -81,6 +81,8 @@ class TelemetryService(Service):
             "driver": driver.driver_cycles,
             "flushes": flushes,
             "aborts": aborts,
+            "offered": ctx.pmu.records_generated,
+            "shed": driver.records_shed,
         }
         deltas = {
             key: max(0, totals[key] - marker[key]) for key in totals
@@ -106,6 +108,16 @@ class TelemetryService(Service):
             driver_cycles=deltas["driver"],
             ssb_flushes=deltas["flushes"],
             ssb_htm_aborts=deltas["aborts"],
+            # Overload-control extras.  ``control_mode`` stays None on
+            # controller-off runs, which keeps them out of the window's
+            # serialized form (byte-identity with the pre-control pin).
+            records_offered=deltas["offered"],
+            records_shed=deltas["shed"],
+            outbox_pending=driver.pending_records,
+            detect_latency=ctx.poll_lag_cycles,
+            control_mode=ctx.control_mode,
+            sav=ctx.pmu.sample_after_value,
+            admit_budget=driver.admission_budget,
         )
         for key in totals:
             marker[key] = max(totals[key], marker[key])

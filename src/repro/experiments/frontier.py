@@ -1,0 +1,213 @@
+"""The overload-control frontier: overhead vs detection latency vs accuracy.
+
+The overload controller (:mod:`repro.control`) trades detection
+latency for bounded overhead: raising the SAV and shedding admissions
+under a record storm keeps the detector cheap, but each surviving
+record stands for more events, so the evidence thresholds take longer
+to cross.  This experiment maps that frontier empirically — the
+Figure 9 sweep extended into the overload regime.
+
+Every cell runs one workload under a standard ``load.burst`` storm at
+one of four controller *profiles*:
+
+* ``off``    — controller disabled (the PR 5 baseline; eats the storm),
+* ``on``     — controller enabled at its shipped defaults,
+* ``tight``  — hair-trigger ladder (escalate fast, small budget),
+* ``loose``  — patient ladder (escalate slow, generous budget),
+
+and reports three axes per cell:
+
+* **overhead** — monitored-cycles / native-cycles under the storm;
+* **detect latency** — machine cycle of the first interim report line
+  crossing the rate threshold (``detect.line_over_threshold``), i.e.
+  time-to-first-detection; ``-`` if the run never detects;
+* **accuracy** — the final report's false positives / negatives
+  against the workload's ground-truth bug database.
+
+Workload×profile cells are independent, so they shard over the shared
+:class:`~repro.experiments.runner.SweepRunner` process pool; workers
+return plain dicts and the merge preserves cell order, so the table is
+identical at any worker count.
+
+Usage::
+
+    python -m repro.experiments.frontier [--workloads a,b] [--seed N]
+        [--workers W] [--out frontier.json]
+"""
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import LaserConfig
+from repro.core.laser import Laser
+from repro.experiments.accuracy import score_report_lines
+from repro.experiments.runner import SweepRunner, run_native
+from repro.experiments.tables import render_table
+from repro.faults import FaultPlan
+from repro.workloads.registry import get_workload
+
+__all__ = [
+    "CONTROL_PROFILES",
+    "FRONTIER_WORKLOADS",
+    "FrontierResult",
+    "run_frontier_sweep",
+]
+
+#: Long-runway, steady-HITM workloads: the storm needs room to engage
+#: the ladder and the run needs to outlive the recovery.
+FRONTIER_WORKLOADS = ("linear_regression", "kmeans", "volrend")
+
+#: The standard storm every cell faces (``load.burst``; the site is
+#: consulted per real HITM, so this roughly multiplies record flow by
+#: ``1 + 0.5 * 16 = 9`` while it lasts).
+BURST_PROBABILITY = 0.5
+BURST_MAX_FIRES = 1200
+
+#: Controller profiles: config overrides per named ladder temperament.
+CONTROL_PROFILES: Dict[str, Dict] = {
+    "off": {"control_enabled": False},
+    "on": {"control_enabled": True},
+    "tight": {
+        "control_enabled": True,
+        "control_budget_records": 64,
+        "control_escalate_after": 1,
+        "control_recover_after": 1,
+    },
+    "loose": {
+        "control_enabled": True,
+        "control_budget_records": 256,
+        "control_escalate_after": 3,
+        "control_recover_after": 2,
+    },
+}
+
+#: Render/merge order for the profiles.
+PROFILE_ORDER = ("off", "on", "tight", "loose")
+
+
+class FrontierResult:
+    """The frontier grid: one row dict per (workload, profile) cell."""
+
+    def __init__(self, rows: List[Dict]):
+        self.rows = rows
+
+    def cell(self, workload: str, profile: str) -> Dict:
+        for row in self.rows:
+            if row["workload"] == workload and row["profile"] == profile:
+                return row
+        raise KeyError((workload, profile))
+
+    def render(self) -> str:
+        headers = ["workload", "profile", "overhead", "detect@cycle",
+                   "fp", "fn", "shed", "peak mode"]
+        body = []
+        for row in self.rows:
+            latency = ("%d" % row["detect_cycle"]
+                       if row["detect_cycle"] is not None else "-")
+            body.append([
+                row["workload"], row["profile"],
+                "%.3fx" % row["overhead"], latency,
+                str(row["fp"]), str(row["fn"]),
+                str(row["records_shed"]), row["peak_mode"],
+            ])
+        return render_table(
+            headers, body,
+            title="Overload frontier: overhead vs detection latency "
+                  "vs accuracy under a record storm",
+        )
+
+    def as_dict(self) -> Dict:
+        return {"schema": "laser-frontier/v1", "rows": self.rows}
+
+
+def _frontier_cell(name: str, profile: str, seed: int) -> Dict:
+    """One cell: run the workload under the storm at one profile."""
+    workload = get_workload(name)
+    native = run_native(workload, seed=seed)
+    cfg = LaserConfig().replace(seed=seed, trace_enabled=True,
+                                **CONTROL_PROFILES[profile])
+    plan = FaultPlan(seed=seed).add(
+        "load.burst", probability=BURST_PROBABILITY,
+        max_fires=BURST_MAX_FIRES,
+    )
+    result = Laser(cfg, faults=plan).run_workload(workload)
+
+    detect_cycle = None
+    for event in result.telemetry.tracer.events():
+        if event.name == "detect.line_over_threshold":
+            detect_cycle = event.cycle
+            break
+    score = score_report_lines(
+        workload, result.report.reported_locations())
+    windows = result.telemetry.windows
+    modes = [w.control_mode for w in windows if w.control_mode]
+    peak = max(modes, key=_mode_rank) if modes else "off"
+    return {
+        "workload": name,
+        "profile": profile,
+        "seed": seed,
+        "overhead": (float(result.cycles) / native.cycles
+                     if native.cycles else 0.0),
+        "detect_cycle": detect_cycle,
+        "fp": score["fp"],
+        "fn": score["fn"],
+        "records_shed": result.driver.records_shed,
+        "records_offered": result.pmu.records_generated,
+        "peak_mode": peak,
+        "mode_changes": result.health.control_mode_changes,
+    }
+
+
+def _mode_rank(mode: str) -> int:
+    from repro.control import ControlMode
+
+    return ControlMode.rung(mode)
+
+
+def run_frontier_sweep(workloads: Optional[Sequence[str]] = None,
+                       profiles: Optional[Sequence[str]] = None,
+                       seed: int = 0,
+                       workers: Optional[int] = None) -> FrontierResult:
+    """Sweep the (workload × profile) grid; deterministic per seed."""
+    names = list(workloads or FRONTIER_WORKLOADS)
+    profs = list(profiles or PROFILE_ORDER)
+    cells = [(name, profile, seed)
+             for name in names for profile in profs]
+    rows = SweepRunner(workers).starmap(_frontier_cell, cells)
+    return FrontierResult(list(rows))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workloads", default=None,
+                        help="comma-separated workload names "
+                             "(default: the frontier trio)")
+    parser.add_argument("--profiles", default=None,
+                        help="comma-separated profile names "
+                             "(default: off,on,tight,loose)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool width (default: host cores; "
+                             "1 = serial)")
+    parser.add_argument("--out", default=None,
+                        help="also write the grid as JSON")
+    args = parser.parse_args(argv)
+    names = args.workloads.split(",") if args.workloads else None
+    profs = args.profiles.split(",") if args.profiles else None
+    result = run_frontier_sweep(workloads=names, profiles=profs,
+                                seed=args.seed, workers=args.workers)
+    print(result.render())
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(result.as_dict(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print("wrote %s (%d cells)" % (args.out, len(result.rows)))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main())

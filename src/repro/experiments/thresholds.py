@@ -34,11 +34,25 @@ class ThresholdSweepResult:
         self.points = points
         self.default_threshold = default_threshold
 
-    def at(self, threshold: float) -> Tuple[int, int]:
-        for t, fp, fn in self.points:
-            if t == threshold:
-                return fp, fn
-        raise KeyError(threshold)
+    def at(self, threshold: float,
+           rel_tol: float = 1e-9) -> Tuple[int, int]:
+        """Accuracy at the swept threshold nearest ``threshold``.
+
+        Sweep grids are often computed (``base * 2**k``, numpy-style
+        linspaces), so exact float equality against a literal like
+        ``1000.0`` is a trap.  The lookup snaps to the nearest swept
+        point within ``rel_tol`` (relative to the requested threshold)
+        and raises a ``KeyError`` naming the available grid otherwise.
+        """
+        if not self.points:
+            raise KeyError(
+                "threshold %g: sweep has no points" % threshold)
+        t, fp, fn = min(self.points, key=lambda p: abs(p[0] - threshold))
+        if abs(t - threshold) > rel_tol * max(abs(threshold), abs(t), 1.0):
+            raise KeyError(
+                "threshold %g not in sweep grid %s (nearest is %g)"
+                % (threshold, [p[0] for p in self.points], t))
+        return fp, fn
 
     def render(self) -> str:
         headers = ["threshold (HITM/s)", "false positives", "false negatives"]

@@ -41,6 +41,14 @@ rejected):
     A checkpoint generation's payload is corrupted (one byte flipped)
     before its CRC check at restore time; recovery must detect it and
     fall back to the previous generation.
+``load.burst``
+    A record storm: the PMU counter misfires, materializing a batch of
+    garbage-PC records at the current SAV.  Consulted once per real
+    HITM event, so storm intensity tracks workload activity and the
+    overload controller's SAV knob throttles it at the source.
+``control.stuck``
+    The overload controller freezes for one check interval: signals go
+    unevaluated and the knobs stay wherever they were.
 """
 
 from typing import Dict, List, Optional, Sequence
@@ -61,6 +69,8 @@ FAULT_SITES: Dict[str, str] = {
     "detector.crash": "detector process dies losing in-memory state",
     "driver.crash": "driver dies wiping volatile buffers and outbox",
     "checkpoint.corrupt": "checkpoint payload corrupted before restore",
+    "load.burst": "PMU record storm floods the driver with garbage records",
+    "control.stuck": "overload controller freezes for one check interval",
 }
 
 

@@ -162,6 +162,27 @@ def render_bench(bench: Dict) -> str:
     return "\n".join(rows)
 
 
+def max_drift_pct(old: Dict, new: Dict) -> float:
+    """Largest absolute simulated-cycle drift (percent) vs a baseline.
+
+    Scans ``native_cycles`` and ``laser_cycles`` for every workload
+    present in both snapshots.  This is the number the CI drift gate
+    thresholds: with the overload controller off, a run must stay
+    within the gate of the committed snapshot — the controller has to
+    be a free feature until it is asked for.
+    """
+    worst = 0.0
+    for name, entry in new.get("workloads", {}).items():
+        base = old.get("workloads", {}).get(name)
+        if base is None:
+            continue
+        for field in ("native_cycles", "laser_cycles"):
+            if base[field]:
+                drift = 100.0 * abs(entry[field] - base[field]) / base[field]
+                worst = max(worst, drift)
+    return worst
+
+
 def diff_bench(old: Dict, new: Dict) -> str:
     """Simulated-cycle drift between two snapshots (wall-clock ignored).
 
@@ -207,6 +228,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--against", metavar="BASELINE",
                         help="also print simulated-cycle drift vs a "
                              "committed baseline snapshot")
+    parser.add_argument("--max-drift-pct", type=float, default=None,
+                        metavar="PCT",
+                        help="with --against: exit 1 if any workload's "
+                             "simulated cycles drift more than PCT%% "
+                             "from the baseline")
     args = parser.parse_args(argv)
     names = args.workloads.split(",") if args.workloads else None
     bench = write_bench(args.out, workload_names=names, runs=args.runs,
@@ -218,6 +244,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             baseline = json.load(fh)
         print("\n-- drift vs %s" % args.against)
         print(diff_bench(baseline, bench))
+        if args.max_drift_pct is not None:
+            worst = max_drift_pct(baseline, bench)
+            if worst > args.max_drift_pct:
+                print("DRIFT GATE FAILED: %.2f%% > %.2f%% allowed"
+                      % (worst, args.max_drift_pct))
+                return 1
+            print("drift gate ok: %.2f%% <= %.2f%% allowed"
+                  % (worst, args.max_drift_pct))
+    elif args.max_drift_pct is not None:
+        parser.error("--max-drift-pct requires --against")
     return 0
 
 

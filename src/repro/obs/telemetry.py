@@ -42,15 +42,41 @@ _WINDOW_FIELDS = (
     "ssb_htm_aborts",
 )
 
+#: Overload-control extras (``repro.control``).  Optional at
+#: construction and serialized only when ``control_mode`` is set, so
+#: the windows-JSONL byte stream of a controller-off run is unchanged
+#: from the pre-control pin.
+_CONTROL_FIELDS = (
+    "records_offered",
+    "records_shed",
+    "outbox_pending",
+    "detect_latency",
+    "control_mode",
+    "sav",
+    "admit_budget",
+)
+
+_CONTROL_DEFAULTS = {
+    "records_offered": 0,
+    "records_shed": 0,
+    "outbox_pending": 0,
+    "detect_latency": 0,
+    "control_mode": None,
+    "sav": 0,
+    "admit_budget": None,
+}
+
 
 class WindowStats:
     """Deltas observed across one detector check interval."""
 
-    __slots__ = _WINDOW_FIELDS
+    __slots__ = _WINDOW_FIELDS + _CONTROL_FIELDS
 
     def __init__(self, **fields):
         for name in _WINDOW_FIELDS:
             setattr(self, name, fields.pop(name))
+        for name in _CONTROL_FIELDS:
+            setattr(self, name, fields.pop(name, _CONTROL_DEFAULTS[name]))
         if fields:
             raise TypeError("unknown WindowStats fields: %s" % sorted(fields))
 
@@ -58,8 +84,25 @@ class WindowStats:
     def duration_cycles(self) -> int:
         return self.end_cycle - self.start_cycle
 
+    @property
+    def drop_rate(self) -> float:
+        """Driver outbox drops per simulated second, this window.
+
+        The cumulative ``records_dropped`` count says a run lost
+        records; the per-window rate says *when* — which is what the
+        overload controller (and an operator reading the timeline)
+        actually acts on.
+        """
+        if self.duration_cycles <= 0:
+            return 0.0
+        return self.records_dropped * CYCLES_PER_SECOND / self.duration_cycles
+
     def as_dict(self) -> Dict:
-        return {name: getattr(self, name) for name in _WINDOW_FIELDS}
+        out = {name: getattr(self, name) for name in _WINDOW_FIELDS}
+        if self.control_mode is not None:
+            for name in _CONTROL_FIELDS:
+                out[name] = getattr(self, name)
+        return out
 
     def __repr__(self):
         return "<WindowStats #%d [%d,%d) hitm/s=%.0f %s%s>" % (
@@ -73,6 +116,22 @@ _STATE_GLYPHS = {
     "idle": " ",
     "attached": "R",
     "rolled_back": "X",
+}
+
+#: Overload-ladder rung per mode (numeric view for the metrics gauge).
+_CONTROL_MODE_INDEX = {
+    "nominal": 0,
+    "throttled": 1,
+    "shedding": 2,
+    "passthrough": 3,
+}
+
+#: Glyphs for the timeline's control-mode column.
+_CONTROL_GLYPHS = {
+    "nominal": "-",
+    "throttled": "T",
+    "shedding": "S",
+    "passthrough": "P",
 }
 
 
@@ -124,6 +183,17 @@ class RunTelemetry:
         metrics.histogram("window.hitm_rate_hist").observe(
             round(window.hitm_rate, 6)
         )
+        if window.control_mode is not None:
+            # Controller-on runs grow the registry; registration order
+            # matters for snapshot bytes, so the block is appended
+            # after every legacy metric and is all-or-nothing.
+            metrics.counter("records.offered").inc(window.records_offered)
+            metrics.counter("records.shed").inc(window.records_shed)
+            metrics.gauge("control.sav").set(window.sav)
+            metrics.gauge("control.mode").set(
+                _CONTROL_MODE_INDEX.get(window.control_mode, -1)
+            )
+            metrics.gauge("window.drop_rate").set(round(window.drop_rate, 6))
         self.record_window(window)
 
     # ------------------------------------------------------------------
@@ -136,10 +206,10 @@ class RunTelemetry:
 
     def series(self, field: str) -> List:
         """The per-window time series of one :class:`WindowStats` field."""
-        if field not in _WINDOW_FIELDS:
+        if field not in _WINDOW_FIELDS and field not in _CONTROL_FIELDS:
             raise KeyError(
                 "unknown window field %r (have: %s)"
-                % (field, ", ".join(_WINDOW_FIELDS))
+                % (field, ", ".join(_WINDOW_FIELDS + _CONTROL_FIELDS))
             )
         return [getattr(w, field) for w in self.windows]
 
@@ -174,27 +244,39 @@ class RunTelemetry:
 
         The bar scales to the run's peak window HITM rate; the state
         column marks repair attached (``R``), rolled back (``X``) and
-        detector stalls (``S``).
+        detector stalls (``S``); ``drop/s`` is the per-window outbox
+        drop rate.  Runs with the overload controller engaged grow a
+        mode column (``-``/``T``/``S``/``P`` for nominal, throttled,
+        shedding, passthrough) plus the per-window shed count.
         """
         if not self.windows:
             return "(no detection windows recorded)"
+        controlled = any(w.control_mode is not None for w in self.windows)
         peak = max(w.hitm_rate for w in self.windows) or 1.0
         header = (
-            "win  kcycles         hitm/s  %-*s  recs  drop st"
+            "win  kcycles         hitm/s  %-*s  recs  drop  drop/s st"
             % (width, "rate (peak %.0f/s)" % peak)
         )
+        if controlled:
+            header += "  mode  shed"
         rows = [header]
         for w in self.windows:
             bar = "#" * int(round(width * w.hitm_rate / peak))
             state = "S" if w.stalled else _STATE_GLYPHS.get(w.repair_state, "?")
             span = "%d-%d" % (w.start_cycle // 1000, w.end_cycle // 1000)
-            rows.append(
-                "%3d  %-13s %8.0f  %-*s %5d %5d  %s"
+            row = (
+                "%3d  %-13s %8.0f  %-*s %5d %5d %7.0f  %s"
                 % (
                     w.index, span, w.hitm_rate, width, bar,
-                    w.records_seen, w.records_dropped, state,
+                    w.records_seen, w.records_dropped, w.drop_rate, state,
                 )
             )
+            if controlled:
+                row += "     %s %5d" % (
+                    _CONTROL_GLYPHS.get(w.control_mode, " "),
+                    w.records_shed,
+                )
+            rows.append(row)
         return "\n".join(rows)
 
     # ------------------------------------------------------------------

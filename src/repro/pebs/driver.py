@@ -25,6 +25,16 @@ buffers and the outbox are *volatile*: ``crash_reset`` wipes them (a
 driver crash loses exactly that state), and the journal is what heals
 the wipe.  A driver whose restart budget is exhausted is ``halted`` and
 drops deliveries with accounting instead of crashing the run.
+
+Admission control (``repro.control``): the overload controller may set
+a per-interval record budget via :meth:`set_admission`.  A record
+arriving after the interval's budget is exhausted is *shed* — counted
+in ``records_shed`` and discarded before it is journaled or buffered,
+so a storm can never grow the journal, the buffers or the outbox past
+what the budget allows, and crash replay never resurrects a shed
+record.  ``admission_budget`` is ``None`` (unlimited) unless the
+controller escalates, so controller-off runs take one predictable
+branch here and stay bit-identical.
 """
 
 from typing import List
@@ -66,12 +76,17 @@ class KernelDriver:
         #: Set by the supervisor when the driver's restart budget is
         #: exhausted: a halted driver drops deliveries with accounting.
         self.halted = False
+        #: Records the driver may admit in the current check interval;
+        #: ``None`` = unlimited (the controller-off fast path).
+        self.admission_budget = None
+        self._admitted_in_interval = 0
         self._core_buffers: List[List[PebsRecord]] = [[] for _ in range(num_cores)]
         self._outbox: List[StrippedRecord] = []
         self.interrupts = 0
         self.driver_cycles = 0
         self.records_forwarded = 0
         self.records_dropped = 0
+        self.records_shed = 0
 
     # ------------------------------------------------------------------
     # PMU-facing side
@@ -82,6 +97,14 @@ class KernelDriver:
         if self.halted:
             self.records_dropped += 1
             return 0
+        if self.admission_budget is not None:
+            # Admission control: shed *before* the journal write, so a
+            # shed record leaves no durable trace to replay, and before
+            # the buffers, so it costs no interrupt either.
+            if self._admitted_in_interval >= self.admission_budget:
+                self.records_shed += 1
+                return 0
+            self._admitted_in_interval += 1
         if self.journal is not None:
             # Journal the stripped form first (write-ahead: durable
             # before volatile), then stamp the raw record so the copy
@@ -153,6 +176,24 @@ class KernelDriver:
     @property
     def pending_records(self) -> int:
         return len(self._outbox) + sum(len(b) for b in self._core_buffers)
+
+    # ------------------------------------------------------------------
+    # Admission control (``repro.control``)
+    # ------------------------------------------------------------------
+
+    def set_admission(self, budget) -> None:
+        """Set the next interval's record budget and reset its meter.
+
+        Called by the control service once per check interval: with a
+        budget of ``None`` admission is unlimited, ``0`` sheds every
+        delivery (passthrough).  Resetting the meter here — rather than
+        on a clock the driver would need to own — keeps the budget
+        boundary aligned with the detector's poll slice.
+        """
+        if budget is not None and budget < 0:
+            raise ValueError("admission budget must be >= 0 or None")
+        self.admission_budget = budget
+        self._admitted_in_interval = 0
 
     # ------------------------------------------------------------------
     # Crash model (``repro.resilience``)

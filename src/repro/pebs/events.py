@@ -12,6 +12,12 @@ monotone sequence number at the driver boundary, and the stripped copy
 forwarded to the detector inherits it so duplicate delivery after a
 crash can be detected against the acked watermark.  ``seq == 0`` means
 "never journaled" (resilience disabled).
+
+They also carry a ``weight``: how many base-SAV records this record
+stands for.  The overload controller (:mod:`repro.control`) raises the
+SAV under load; records sampled at the elevated SAV are stamped with
+the SAV multiplier so the detection pipeline's rate estimates stay
+unbiased.  ``weight == 1`` always, outside controller throttling.
 """
 
 __all__ = ["PebsRecord", "StrippedRecord", "XSNP_HITM_EVENT"]
@@ -24,15 +30,17 @@ class PebsRecord:
     """A full PEBS record as produced by the (simulated) hardware."""
 
     __slots__ = ("pc", "data_addr", "core", "cycle", "store_triggered",
-                 "register_file", "seq")
+                 "register_file", "seq", "weight")
 
     def __init__(self, pc: int, data_addr: int, core: int, cycle: int,
-                 store_triggered: bool, register_file=None, seq: int = 0):
+                 store_triggered: bool, register_file=None, seq: int = 0,
+                 weight: int = 1):
         self.pc = pc
         self.data_addr = data_addr
         self.core = core
         self.cycle = cycle
         self.seq = seq
+        self.weight = weight
         #: Whether the triggering access was a store (Figure 1c).  The
         #: real record does not expose this; it exists for ground-truth
         #: instrumentation in the characterization experiments and MUST
@@ -49,20 +57,21 @@ class PebsRecord:
 class StrippedRecord:
     """What the driver forwards to the detector: PC, address, core, time."""
 
-    __slots__ = ("pc", "data_addr", "core", "cycle", "seq")
+    __slots__ = ("pc", "data_addr", "core", "cycle", "seq", "weight")
 
     def __init__(self, pc: int, data_addr: int, core: int, cycle: int,
-                 seq: int = 0):
+                 seq: int = 0, weight: int = 1):
         self.pc = pc
         self.data_addr = data_addr
         self.core = core
         self.cycle = cycle
         self.seq = seq
+        self.weight = weight
 
     @classmethod
     def from_pebs(cls, record: PebsRecord) -> "StrippedRecord":
         return cls(record.pc, record.data_addr, record.core, record.cycle,
-                   seq=record.seq)
+                   seq=record.seq, weight=record.weight)
 
     def __repr__(self):
         return "<Record pc=%#x addr=%#x core=%d cyc=%d>" % (

@@ -10,6 +10,21 @@ application slowdown.
 
 Records pass through the imprecision model before landing in the
 driver's per-core buffers.
+
+Two knobs here belong to the overload controller (:mod:`repro.control`):
+``sample_after_value`` may be raised mid-run to throttle record flow at
+the source, and ``sample_weight`` stamps each record with the SAV
+multiplier so downstream rate estimates stay unbiased.
+
+The ``load.burst`` fault site also lives here: a counter misfire storm
+that materializes batches of garbage-PC records at the *current* SAV.
+Storm records are counted against a separate synthetic event counter —
+the real per-core HITM counters and their sampling phase are never
+perturbed, so the genuine record stream is identical with or without
+the storm.  Storm records charge no microcode-assist cycles (a phantom
+counter event never ran an assist for real work) but they do fill
+driver buffers, so their interrupt cost — and the admission budget that
+sheds them — is real.
 """
 
 from typing import List
@@ -19,7 +34,18 @@ from repro.obs.trace import NULL_TRACER
 from repro.pebs.events import PebsRecord
 from repro.pebs.imprecision import ImprecisionModel
 
-__all__ = ["PerformanceMonitoringUnit"]
+__all__ = ["PerformanceMonitoringUnit", "BURST_EVENTS_PER_FIRE"]
+
+#: Synthetic counter events added per ``load.burst`` fire.  The site is
+#: consulted once per real HITM event, so a storm with firing
+#: probability ``p`` multiplies the record rate by roughly
+#: ``1 + p * BURST_EVENTS_PER_FIRE`` while it lasts.
+BURST_EVENTS_PER_FIRE = 16
+
+#: Storm records carry PCs from far above any mapped region, so the
+#: detector's memory-map filter classifies them as garbage (Section 3.1
+#: imprecision at adversarial rates) rather than app samples.
+_BURST_PC_BASE = 1 << 44
 
 
 class PerformanceMonitoringUnit:
@@ -41,17 +67,26 @@ class PerformanceMonitoringUnit:
         self.imprecision = imprecision
         self.driver = driver
         self.sample_after_value = sample_after_value
+        #: Base-SAV multiple each sampled record stands for; the
+        #: overload controller keeps this equal to the SAV multiplier
+        #: it applied, and it is 1 whenever the controller is off.
+        self.sample_weight = 1
         self.num_cores = num_cores
         self.record_cost = record_cost
         self.pebs_enabled = pebs_enabled
         #: Optional :class:`repro.faults.FaultInjector`; hosts the
-        #: ``pebs.record_drop`` and ``pebs.record_corrupt`` sites.
+        #: ``pebs.record_drop``, ``pebs.record_corrupt`` and
+        #: ``load.burst`` sites.
         self.injector = injector
         #: Event tracer (``repro.obs.trace``); emits ``pebs.sample``
         #: whenever the microcode assist materializes a record.
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.hitm_counts: List[int] = [0] * num_cores
         self.records_generated = 0
+        #: Synthetic ``load.burst`` accounting, separate from the real
+        #: counters so storms never shift the genuine sampling phase.
+        self.burst_events = 0
+        self.burst_records = 0
 
     # ------------------------------------------------------------------
     # Machine hook
@@ -63,8 +98,16 @@ class PerformanceMonitoringUnit:
         self.hitm_counts[core] += 1
         if not self.pebs_enabled:
             return 0
-        if self.hitm_counts[core] % self.sample_after_value != 0:
-            return 0
+        extra = 0
+        if self.hitm_counts[core] % self.sample_after_value == 0:
+            extra = self._sample(core, inst, addr, is_write, cycle)
+        if self.injector is not None and self.injector.fires("load.burst"):
+            extra += self._burst_storm(core, cycle)
+        return extra
+
+    def _sample(self, core: int, inst, addr: int, is_write: bool,
+                cycle: int) -> int:
+        """The SAV-th event: materialize one record (microcode assist)."""
         recorded_pc, recorded_addr = self.imprecision.distort(
             inst.pc, addr, store_triggered=is_write
         )
@@ -74,6 +117,7 @@ class PerformanceMonitoringUnit:
             core=core,
             cycle=cycle,
             store_triggered=is_write,
+            weight=self.sample_weight,
         )
         self.records_generated += 1
         if self.tracer.enabled:
@@ -93,6 +137,31 @@ class PerformanceMonitoringUnit:
                 record.data_addr = rng.getrandbits(40)
         if self.driver is not None:
             extra += self.driver.deliver(record)
+        return extra
+
+    def _burst_storm(self, core: int, cycle: int) -> int:
+        """One ``load.burst`` fire: a batch of phantom counter events.
+
+        Sampled at the *current* SAV — which is exactly what closes the
+        control loop: raising the SAV throttles the storm at its source.
+        """
+        rng = self.injector.rng("load.burst")
+        extra = 0
+        for _ in range(BURST_EVENTS_PER_FIRE):
+            self.burst_events += 1
+            if self.burst_events % self.sample_after_value != 0:
+                continue
+            record = PebsRecord(
+                pc=_BURST_PC_BASE | rng.getrandbits(32),
+                data_addr=rng.getrandbits(40),
+                core=core,
+                cycle=cycle,
+                store_triggered=False,
+            )
+            self.records_generated += 1
+            self.burst_records += 1
+            if self.driver is not None:
+                extra += self.driver.deliver(record)
         return extra
 
     @property

@@ -64,6 +64,42 @@ def collect_cell(workload_name: str, seed: int,
     }
 
 
+def assert_cell_matches(got: dict, golden: dict) -> None:
+    """Assert a collected cell matches its golden recording.
+
+    Every pinned key is compared strictly *except* ``health``: the
+    RunHealth schema legitimately grows new counters in later PRs (the
+    overload controller added eight), and a golden recorded before a
+    counter existed cannot pin its value.  Health keys present in the
+    golden are compared strictly; keys absent from the golden must be
+    **zero** — a baseline run may not exercise machinery that did not
+    exist when the pin was taken.  Everything else (cycles, report,
+    trace/window byte hashes) stays byte-for-byte.
+    """
+    for key, want in golden.items():
+        if key == "health":
+            continue
+        assert got[key] == want, (
+            "golden mismatch for %s/%s/%s at %r: got %r, want %r"
+            % (golden["workload"], golden["seed"], golden["schedule"],
+               key, got[key], want)
+        )
+    got_health = got["health"]
+    want_health = golden["health"]
+    for key, want in want_health.items():
+        assert got_health.get(key) == want, (
+            "golden health mismatch at %r: got %r, want %r"
+            % (key, got_health.get(key), want)
+        )
+    for key, value in got_health.items():
+        if key not in want_health:
+            assert value == 0, (
+                "post-golden health counter %r is %r on a baseline run "
+                "(new machinery must stay inert when disabled)"
+                % (key, value)
+            )
+
+
 def golden_cells() -> List[dict]:
     """The (workload, seed, schedule) grid, in deterministic order."""
     cells = [

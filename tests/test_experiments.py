@@ -88,6 +88,25 @@ class TestSmallScaleExperiments:
         _fp_hi, fn_hi = result.at(float(10 ** 9))
         assert fn_low == 0 and fn_hi == 1
 
+    def test_threshold_at_snaps_within_float_tolerance(self):
+        from repro.experiments.thresholds import ThresholdSweepResult
+
+        # Computed grids (base * 2**k, linspace steps) rarely equal the
+        # literal a caller asks for; the lookup must snap, not KeyError.
+        grid = ThresholdSweepResult(
+            [(0.1 + 0.2, 3, 0), (1000.0000000001, 1, 2)],
+            default_threshold=1000.0,
+        )
+        assert grid.at(0.3) == (3, 0)
+        assert grid.at(1000.0) == (1, 2)
+        with pytest.raises(KeyError) as excinfo:
+            grid.at(512.0)
+        # The error names the requested threshold and the actual grid.
+        assert "512" in str(excinfo.value)
+        assert "nearest" in str(excinfo.value)
+        with pytest.raises(KeyError):
+            ThresholdSweepResult([], 0.0).at(32.0)
+
     def test_sav_sweep_shape(self):
         result = run_sav_sweep("dedup", runs=1, sav_values=[1, 19])
         assert result.normalized_at(1) > result.normalized_at(19)

@@ -173,6 +173,40 @@ class TestTelemetryUnit:
     def test_empty_timeline_renders_placeholder(self):
         assert "no detection windows" in RunTelemetry().render_timeline()
 
+    def test_drop_rate_is_a_per_second_rate(self):
+        window = make_window(records_dropped=50)  # 50 drops / 50k cycles
+        from repro._constants import CYCLES_PER_SECOND
+
+        assert window.drop_rate == pytest.approx(
+            50 * CYCLES_PER_SECOND / 50_000)
+        degenerate = make_window(end=0, records_dropped=50)
+        assert degenerate.drop_rate == 0.0
+
+    def test_timeline_plots_drop_rate_column(self):
+        telemetry = RunTelemetry()
+        telemetry.record_window(make_window(0, records_dropped=100))
+        timeline = telemetry.render_timeline()
+        assert "drop/s" in timeline.splitlines()[0]
+        from repro._constants import CYCLES_PER_SECOND
+
+        expected = "%.0f" % (100 * CYCLES_PER_SECOND / 50_000)
+        assert expected in timeline.splitlines()[1]
+
+    def test_timeline_adds_mode_column_only_for_control_runs(self):
+        plain = RunTelemetry()
+        plain.record_window(make_window(0))
+        assert "mode" not in plain.render_timeline().splitlines()[0]
+
+        controlled = RunTelemetry()
+        controlled.record_window(
+            make_window(0, control_mode="shedding", records_offered=400,
+                        records_shed=144, sav=76, admit_budget=128)
+        )
+        lines = controlled.render_timeline().splitlines()
+        assert "mode" in lines[0] and "shed" in lines[0]
+        # Shedding renders as the "S" mode glyph plus the shed count.
+        assert lines[1].split()[-2:] == ["S", "144"]
+
 
 class TestRunDeterminism:
     def test_same_seed_same_bytes(self, traced):

@@ -27,7 +27,7 @@ from types import SimpleNamespace
 
 import pytest
 
-from golden_runbuilt import collect_cell, load_golden
+from golden_runbuilt import assert_cell_matches, collect_cell, load_golden
 from repro.core import Laser, LaserConfig, RunHealth
 from repro.core.health import HealthField
 from repro.core.services import (
@@ -397,7 +397,7 @@ class TestGoldenBitIdentity:
     )
     def test_run_built_matches_golden(self, cell):
         got = collect_cell(cell["workload"], cell["seed"], cell["schedule"])
-        assert got == cell
+        assert_cell_matches(got, cell)
 
     def test_golden_grid_shape(self):
         cells = load_golden()
