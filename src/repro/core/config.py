@@ -58,6 +58,8 @@ class LaserConfig:
         control_sav_step: int = 2,
         control_poll_step: int = 2,
         control_max_sav: int = 512,
+        race_gate: bool = False,
+        static_prefilter: bool = False,
     ):
         if sample_after_value < 1:
             raise ValueError("SAV must be >= 1")
@@ -202,6 +204,18 @@ class LaserConfig:
         #: Hard cap on the actuated SAV (sampling coarser than this
         #: stops producing a usable rate estimate at all).
         self.control_max_sav = control_max_sav
+        #: Consult the static sharing certificate (``repro.static.race``)
+        #: before attaching a repair: source lines certified RACE are
+        #: quarantined (repair refused, counted in
+        #: ``RunHealth.repairs_quarantined``) because SSB-rewriting a
+        #: racy line would mask a correctness bug.  Off by default so
+        #: default runs stay bit-identical to the golden pins.
+        self.race_gate = race_gate
+        #: Feed the certificate's shared-line set to the detector's
+        #: record filter so sampling budget is spent only on lines
+        #: static analysis says can be shared.  Fail-open: applied only
+        #: when the certificate is complete (no clipped footprints).
+        self.static_prefilter = static_prefilter
 
     def replace(self, **kwargs) -> "LaserConfig":
         """Return a copy with some fields overridden."""
@@ -242,6 +256,8 @@ class LaserConfig:
             control_sav_step=self.control_sav_step,
             control_poll_step=self.control_poll_step,
             control_max_sav=self.control_max_sav,
+            race_gate=self.race_gate,
+            static_prefilter=self.static_prefilter,
         )
         fields.update(kwargs)
         return LaserConfig(**fields)

@@ -6,10 +6,23 @@ records whose PC does not come from the application or its libraries are
 dropped as spurious.  Records whose *data address* lies on a thread
 stack are also dropped, as stacks "are unlikely to be shared between
 threads and thus unlikely to be sources of cache contention."
+
+An optional third stage consumes the static sharing certificate
+(``repro.static.race``): when a line-priority set is installed, records
+whose data address falls on a *heap* cache line the certifier proved
+thread-local are dropped before they cost pipeline work — the detector
+spends its budget where static analysis says sharing can exist.  The
+stage judges only addresses the certificate can speak about: records
+whose data address is unmapped (PEBS imprecision makes many data
+addresses garbage, while their PCs still carry aggregation evidence)
+or in a non-heap region pass through untouched.
 """
 
+from typing import FrozenSet, Iterable, Optional
+
+from repro._constants import CACHE_LINE_SIZE
 from repro.pebs.events import StrippedRecord
-from repro.sim.vmmap import VirtualMemoryMap
+from repro.sim.vmmap import RegionKind, VirtualMemoryMap
 
 __all__ = ["RecordFilter"]
 
@@ -17,23 +30,36 @@ __all__ = ["RecordFilter"]
 class RecordFilter:
     """Memory-map based record filtering."""
 
-    def __init__(self, vmmap: VirtualMemoryMap):
+    def __init__(self, vmmap: VirtualMemoryMap,
+                 line_priorities: Optional[Iterable[int]] = None):
         self.vmmap = vmmap
+        #: Cache lines worth detection budget (None = admit everything).
+        self.line_priorities: Optional[FrozenSet[int]] = (
+            None if line_priorities is None else frozenset(line_priorities))
         self.dropped_bad_pc = 0
         self.dropped_stack_addr = 0
+        self.dropped_unprioritized = 0
         self.passed = 0
 
     def admit(self, record: StrippedRecord) -> bool:
-        """True if ``record`` survives both filter stages."""
+        """True if ``record`` survives all filter stages."""
         if not self.vmmap.is_application_or_library_code(record.pc):
             self.dropped_bad_pc += 1
             return False
         if self.vmmap.is_stack_address(record.data_addr):
             self.dropped_stack_addr += 1
             return False
+        if (self.line_priorities is not None
+                and record.data_addr // CACHE_LINE_SIZE
+                not in self.line_priorities
+                and self.vmmap.classify(record.data_addr)
+                is RegionKind.HEAP):
+            self.dropped_unprioritized += 1
+            return False
         self.passed += 1
         return True
 
     @property
     def total_seen(self) -> int:
-        return self.passed + self.dropped_bad_pc + self.dropped_stack_addr
+        return (self.passed + self.dropped_bad_pc + self.dropped_stack_addr
+                + self.dropped_unprioritized)

@@ -54,9 +54,10 @@ class DetectionPipeline:
         sample_after_value: int,
         record_cost: int = DETECTOR_RECORD_COST,
         tracer=None,
+        line_priorities: Optional[Iterable[int]] = None,
     ):
         self.program = program
-        self.filter = RecordFilter(vmmap)
+        self.filter = RecordFilter(vmmap, line_priorities=line_priorities)
         self.aggregator = LineAggregator(program, sample_after_value)
         self.load_store_sets = LoadStoreSets.from_program(program)
         self.line_model = CacheLineModel()

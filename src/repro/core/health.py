@@ -86,6 +86,12 @@ class RunHealth:
         HealthField("control_sav_max_excess"),
         HealthField("control_poll_max_excess"),
         HealthField("control_stuck_intervals"),
+        # Static race certification (``repro.static.race``).  Info
+        # fields: a quarantined repair is the gate *working* (refusing
+        # to mask a certified race), and statically-filtered records
+        # are deliberate budget savings, not loss.
+        HealthField("repairs_quarantined", info=True),
+        HealthField("records_filtered_static", info=True),
     )
     #: Derived views (kept as the historical class-attribute names —
     #: they are part of the public surface; tests and harnesses iterate

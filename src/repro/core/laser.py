@@ -52,6 +52,7 @@ from repro.pebs.imprecision import ImprecisionModel
 from repro.pebs.pmu import PerformanceMonitoringUnit
 from repro.resilience import ResilienceRuntime
 from repro.sim.machine import Machine
+from repro.static.race import certify_built
 
 __all__ = ["Laser", "LaserRunResult", "RunHealth"]
 
@@ -199,16 +200,36 @@ class Laser:
             tracer=tracer,
         )
         machine.on_hitm = pmu.on_hitm
+        # Static race certification: computed only when a knob asks for
+        # it, so default runs stay bit-identical to the golden pins.
+        certificate = None
+        if config.race_gate or config.static_prefilter:
+            certificate = certify_built(built)
+            tracer.emit(
+                "static.certificate", 0,
+                unsafe=certificate.unsafe,
+                racy_lines=len(certificate.racy_lines()),
+                priority_lines=len(certificate.priority_lines()),
+                complete=certificate.complete,
+            )
+        # The certificate-derived prefilter is fail-open: applied only
+        # when the certifier classified *every* footprint (a clipped
+        # footprint means a line could be shared without appearing in
+        # the priority set).
+        line_priorities = None
+        if (config.static_prefilter and certificate is not None
+                and certificate.complete):
+            line_priorities = certificate.priority_lines()
         pipeline = DetectionPipeline(
             program, machine.vmmap, config.sample_after_value,
-            tracer=tracer,
+            tracer=tracer, line_priorities=line_priorities,
         )
         ctx = RunContext(
             config=config, machine=machine, program=program,
             injector=injector, tracer=tracer, telemetry=telemetry,
             health=RunHealth(), driver=driver, pmu=pmu,
             pipeline=pipeline, repairer=self.repairer, runtime=runtime,
-            st=DetectorState(config),
+            st=DetectorState(config), certificate=certificate,
         )
         resilience = ResilienceService()
         scheduler = Scheduler(

@@ -99,11 +99,11 @@ class RunContext:
                  "repairer", "runtime", "st", "scheduler",
                  "interval", "recovery", "poll_records", "polled",
                  "was_down", "poll_interval_cycles", "control_mode",
-                 "poll_lag_cycles")
+                 "poll_lag_cycles", "certificate")
 
     def __init__(self, config, machine, program, injector, tracer,
                  telemetry, health, driver, pmu, pipeline, repairer,
-                 runtime, st):
+                 runtime, st, certificate=None):
         self.config = config
         self.machine = machine
         self.program = program
@@ -115,6 +115,10 @@ class RunContext:
         self.pmu = pmu
         self.pipeline = pipeline
         self.repairer = repairer
+        #: The static :class:`~repro.static.race.SharingCertificate`
+        #: for this program, or ``None`` when neither ``race_gate`` nor
+        #: ``static_prefilter`` asked for one.
+        self.certificate = certificate
         #: Crash-recovery runtime (``repro.resilience``), or ``None``
         #: when ``config.resilience_enabled`` is off.
         self.runtime = runtime

@@ -25,6 +25,7 @@ from repro.core.services.base import Service
 from repro.core.services.context import ssb_abort_count, ssb_buffers
 from repro.errors import RepairError
 from repro.obs.trace import NULL_TRACER
+from repro.static.race import LineVerdict
 
 __all__ = ["RepairService"]
 
@@ -159,6 +160,9 @@ class RepairService(Service):
         )
         if not fs_lines:
             return None
+        fs_lines = self._apply_race_gate(ctx, fs_lines)
+        if not fs_lines:
+            return None
         contending_pcs: Set[int] = set()
         for line in fs_lines:
             contending_pcs.update(
@@ -177,6 +181,36 @@ class RepairService(Service):
             tracer=tracer if tracer is not None else NULL_TRACER,
             cycle=ctx.cycle,
         )
+
+    def _apply_race_gate(self, ctx, fs_lines):
+        """Quarantine trigger lines the static certifier proved racy.
+
+        An SSB rewrite of a genuinely racy line would serialize (and so
+        *hide*) the race while the monitor is attached — a correctness
+        bug masked by a performance tool.  With ``race_gate`` on, any
+        repair candidate whose source location certifies RACE is
+        refused; the refusal is surfaced in ``RunHealth`` and the
+        tracer rather than silently dropped.
+        """
+        config, certificate = ctx.config, ctx.certificate
+        if not config.race_gate or certificate is None:
+            return fs_lines
+        quarantined = [
+            line for line in fs_lines
+            if certificate.gate_verdict_for_location(line.location)
+            is LineVerdict.RACE
+        ]
+        if not quarantined:
+            return fs_lines
+        ctx.health.repairs_quarantined += len(quarantined)
+        tracer = ctx.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit(
+                "repair.quarantine", ctx.cycle,
+                lines=[str(line.location) for line in quarantined],
+            )
+        kept = [line for line in fs_lines if line not in quarantined]
+        return kept
 
     # ------------------------------------------------------------------
     # Restore reconciliation and health

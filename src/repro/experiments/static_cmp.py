@@ -11,23 +11,32 @@ over-approximates (no notion of rate), so the interesting scores are:
   interpreter lost a footprint it needed.
 * **precision** — of the lines the predictor flagged, what fraction
   did the dynamic run confirm?  Expected to be low (cold sharing and
-  one-time handoffs are flagged too); reported to quantify the
-  asymmetry, not as a bar.
+  one-time handoffs are flagged too); reported per workload — along
+  with the raw count of statically-flagged-but-never-observed lines —
+  to quantify the asymmetry, not as a bar.
 
 Both sides see the *same* built program: the workload is built once
 with the detector's heap shift and the dynamic run monitors that exact
 build (repair disabled so the access stream is not rewritten mid-run).
+
+Cells shard over :class:`~repro.experiments.runner.SweepRunner` (one
+cell per workload; ``--workers`` on the CLI): cells are independent
+and seed-deterministic and the merge preserves submission order, so
+results are byte-identical at any worker count.
 """
 
-from typing import List, Optional, Set
+import argparse
+import sys
+from typing import List, Optional, Set, Tuple
 
 from repro.core.config import LaserConfig
 from repro.core.detect.linemodel import SharingType
 from repro.core.laser import Laser
+from repro.experiments.runner import SweepRunner
 from repro.experiments.tables import render_table
-from repro.static.predict import StaticSharingReport, predict_program
+from repro.static.predict import predict_program
 from repro.workloads.base import Workload
-from repro.workloads.registry import all_workloads
+from repro.workloads.registry import all_workloads, get_workload
 
 __all__ = ["StaticCmpRow", "StaticCmpResult", "run_static_cmp"]
 
@@ -36,14 +45,15 @@ class StaticCmpRow:
     """One workload's static-vs-dynamic comparison."""
 
     def __init__(self, name: str, dynamic_fs: Set[int], dynamic_ts: Set[int],
-                 static_flagged: Set[int], static_report: StaticSharingReport):
+                 static_flagged: Set[int], static_clipped: int):
         self.name = name
         #: Cache lines the dynamic run observed FS (resp. TS) events on.
         self.dynamic_fs = dynamic_fs
         self.dynamic_ts = dynamic_ts
         #: Every cache line the predictor flagged (any sharing class).
         self.static_flagged = static_flagged
-        self.static_report = static_report
+        #: Footprints the predictor clipped (its coverage gap).
+        self.static_clipped = static_clipped
 
     @property
     def dynamic_contended(self) -> Set[int]:
@@ -53,6 +63,11 @@ class StaticCmpRow:
     def missed_fs_lines(self) -> Set[int]:
         """Dynamically-confirmed FS lines the predictor did not flag."""
         return self.dynamic_fs - self.static_flagged
+
+    @property
+    def static_only_lines(self) -> Set[int]:
+        """Statically-flagged lines the dynamic run never confirmed."""
+        return self.static_flagged - self.dynamic_contended
 
     @property
     def fs_recall(self) -> Optional[float]:
@@ -91,7 +106,8 @@ class StaticCmpRow:
             self._pct(self.fs_recall),
             self._pct(self.recall),
             self._pct(self.precision),
-            str(len(self.static_report.clipped)),
+            str(len(self.static_only_lines)),
+            str(self.static_clipped),
         ]
 
 
@@ -115,7 +131,7 @@ class StaticCmpResult:
 
     def render(self) -> str:
         headers = ["benchmark", "dyn FS", "dyn TS", "static", "FS recall",
-                   "recall", "precision", "clipped"]
+                   "recall", "precision", "static-only", "clipped"]
         body = [row.cells() for row in self.rows]
         table = render_table(
             headers, body,
@@ -126,37 +142,82 @@ class StaticCmpResult:
         return table
 
 
+def _static_cmp_cell(name: str, cfg: LaserConfig, scale: float,
+                     min_events: int) -> Tuple:
+    """One workload's cell: runs in a pool worker, returns reduced data.
+
+    Module-level and returning only small picklable values (the
+    ``SweepRunner`` contract): the workload is rebuilt from its name
+    and the heavy run objects never cross the process boundary.
+    """
+    workload = get_workload(name)
+    built = workload.build(heap_offset=cfg.heap_shift, seed=cfg.seed,
+                           scale=scale)
+    result = Laser(cfg).run_built(built)
+    model = result.pipeline.line_model
+    dynamic_fs = sorted(model.contended_lines(
+        SharingType.FALSE_SHARING, min_events=min_events))
+    dynamic_ts = sorted(model.contended_lines(
+        SharingType.TRUE_SHARING, min_events=min_events))
+    static_report = predict_program(built.program)
+    return (name, dynamic_fs, dynamic_ts,
+            sorted(static_report.flagged_cache_lines()),
+            len(static_report.clipped))
+
+
 def run_static_cmp(workloads: Optional[List[Workload]] = None, seed: int = 0,
                    scale: float = 1.0,
                    config: Optional[LaserConfig] = None,
-                   min_events: int = 1) -> StaticCmpResult:
+                   min_events: int = 1,
+                   workers: Optional[int] = 1) -> StaticCmpResult:
     """Score the static predictor against dynamic ground truth.
 
     ``min_events`` is the dynamic evidence threshold: a cache line needs
     at least that many classified sharing events of a class to count as
-    ground truth for it.
+    ground truth for it.  ``workers`` shards the per-workload cells over
+    a :class:`SweepRunner` (1 = serial; results are identical at any
+    width).  Workloads must be registry-resolvable by name — the cells
+    rebuild them inside the pool workers.
     """
     base = config or LaserConfig()
     # Repair off: a rewrite mid-run redirects stores through the SSB and
     # changes which lines the model observes, which would make the
     # ground truth depend on repair timing.
     cfg = base.replace(seed=seed, repair_enabled=False)
-    rows = []
-    for workload in workloads if workloads is not None else all_workloads():
-        built = workload.build(heap_offset=cfg.heap_shift, seed=cfg.seed,
-                               scale=scale)
-        result = Laser(cfg).run_built(built)
-        model = result.pipeline.line_model
-        dynamic_fs = set(model.contended_lines(
-            SharingType.FALSE_SHARING, min_events=min_events))
-        dynamic_ts = set(model.contended_lines(
-            SharingType.TRUE_SHARING, min_events=min_events))
-        static_report = predict_program(built.program)
-        rows.append(StaticCmpRow(
-            workload.name, dynamic_fs, dynamic_ts,
-            static_report.flagged_cache_lines(), static_report))
+    names = [
+        w.name for w in (workloads if workloads is not None
+                         else all_workloads())
+    ]
+    runner = SweepRunner(workers=workers)
+    cells = runner.starmap(
+        _static_cmp_cell,
+        [(name, cfg, scale, min_events) for name in names],
+    )
+    rows = [
+        StaticCmpRow(name, set(dynamic_fs), set(dynamic_ts),
+                     set(static_flagged), clipped)
+        for name, dynamic_fs, dynamic_ts, static_flagged, clipped in cells
+    ]
     return StaticCmpResult(rows)
 
 
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.static_cmp",
+        description="Static predictor vs. dynamic detector scores.")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="pool width for the per-workload cells "
+                             "(default 1 = serial)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--min-events", type=int, default=1)
+    args = parser.parse_args(argv)
+    result = run_static_cmp(seed=args.seed, scale=args.scale,
+                            min_events=args.min_events,
+                            workers=args.workers)
+    print(result.render())
+    return 0
+
+
 if __name__ == "__main__":  # pragma: no cover
-    print(run_static_cmp().render())
+    sys.exit(main())

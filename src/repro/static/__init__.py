@@ -12,10 +12,19 @@ Three layers, each usable on its own:
   footprints projected onto 64-byte cache lines, classified TS/FS, in
   the same report shape the dynamic detector emits;
 * :mod:`repro.static.verify` — the TSO/SSB rewrite verifier gating
-  LASERREPAIR's instrumented code (see ``core/repair/manager.py``).
+  LASERREPAIR's instrumented code (see ``core/repair/manager.py``);
+* :mod:`repro.static.mhp` — may-happen-in-parallel / happens-before
+  analysis over the flag-handoff and counting-barrier idioms;
+* :mod:`repro.static.race` — the data-race certifier: every shared
+  cache line classified RACE / SYNC_TRUE_SHARING / FALSE_SHARING /
+  THREAD_LOCAL into a serializable :class:`SharingCertificate` that
+  gates repair (``LaserConfig.race_gate``) and can pre-seed the
+  detector's record filter (``LaserConfig.static_prefilter``).
 
-``python -m repro.static <workload>`` prints the prediction for a
-bundled workload.
+``python -m repro.static <workload>`` prints the prediction and the
+certificate for a bundled workload (nonzero exit if unsafe);
+``python -m repro.static.racecheck`` certifies the whole registry
+against the committed golden verdicts.
 """
 
 from repro.static.absint import (
@@ -30,12 +39,27 @@ from repro.static.lockset import (
     analyze_locksets,
     collect_lock_addresses,
 )
+from repro.static.mhp import (
+    HbEdge,
+    MhpAnalysis,
+    analyze_mhp,
+)
 from repro.static.predict import (
+    LineAccessCollection,
     LinePrediction,
     StaticAccess,
     StaticLineReport,
     StaticSharingReport,
+    collect_line_accesses,
     predict_program,
+)
+from repro.static.race import (
+    LineCertificate,
+    LineVerdict,
+    PairEvidence,
+    SharingCertificate,
+    certify_built,
+    certify_program,
 )
 from repro.static.verify import (
     VerificationResult,
@@ -53,11 +77,22 @@ __all__ = [
     "analyze_locksets",
     "collect_lock_addresses",
     "StaticAccess",
+    "LineAccessCollection",
     "LinePrediction",
     "StaticLineReport",
     "StaticSharingReport",
+    "collect_line_accesses",
     "predict_program",
     "Violation",
     "VerificationResult",
     "verify_rewrite",
+    "HbEdge",
+    "MhpAnalysis",
+    "analyze_mhp",
+    "LineVerdict",
+    "PairEvidence",
+    "LineCertificate",
+    "SharingCertificate",
+    "certify_program",
+    "certify_built",
 ]

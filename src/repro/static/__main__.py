@@ -1,4 +1,4 @@
-"""CLI: static sharing prediction for a bundled workload.
+"""CLI: static sharing prediction + race certification for workloads.
 
 Usage::
 
@@ -8,12 +8,18 @@ Usage::
 Builds each workload exactly as a LASER run would (the detector's fork
 shifts the heap base by ``LaserConfig.heap_shift``) so predicted cache
 lines are directly comparable to a dynamic report's.
+
+Exits nonzero when any analyzed workload certifies unsafe (at least one
+RACE line), so CI and scripts can gate on the verdict.  The committed
+golden expectations live in ``tests/golden/race_verdicts.json`` and are
+checked by ``python -m repro.static.racecheck``.
 """
 
 import sys
 
 from repro.core.config import LaserConfig
 from repro.static.predict import predict_program
+from repro.static.race import certify_built
 from repro.workloads import all_workloads, get_workload
 
 
@@ -25,14 +31,22 @@ def main(argv) -> int:
     names = (
         [w.name for w in all_workloads()] if argv == ["--all"] else argv
     )
+    unsafe = []
     for name in names:
         workload = get_workload(name)
         built = workload.build(heap_offset=config.heap_shift,
                                seed=config.seed)
         report = predict_program(built.program)
+        certificate = certify_built(built)
         print("== %s" % name)
         print(report.render())
+        print(certificate.render())
         print()
+        if certificate.unsafe:
+            unsafe.append(name)
+    if unsafe:
+        print("unsafe (RACE lines certified): %s" % ", ".join(unsafe))
+        return 1
     return 0
 
 

@@ -161,7 +161,8 @@ class StrideInterval:
         stride = joined.stride if lo is not None else 1
         return StrideInterval(lo, hi, stride or 1 if lo != hi or lo is None else 0)
 
-    def meet_range(self, lo: Optional[int], hi: Optional[int]) -> Optional["StrideInterval"]:
+    def meet_range(self, lo: Optional[int],
+                   hi: Optional[int]) -> Optional["StrideInterval"]:
         """Intersect with ``[lo, hi]``; None if the result is empty.
 
         Unlike the join helpers, a ``None`` bound here means *unbounded*,
@@ -197,13 +198,15 @@ class StrideInterval:
         lo = _add(self.lo, other.lo)
         hi = _add(self.hi, other.hi)
         stride = gcd(self.stride, other.stride) if lo is not None else 1
-        return StrideInterval(lo, hi, stride or (0 if lo is not None and lo == hi else 1))
+        return StrideInterval(
+            lo, hi, stride or (0 if lo is not None and lo == hi else 1))
 
     def sub(self, other: "StrideInterval") -> "StrideInterval":
         lo = _sub(self.lo, other.hi)
         hi = _sub(self.hi, other.lo)
         stride = gcd(self.stride, other.stride) if lo is not None else 1
-        return StrideInterval(lo, hi, stride or (0 if lo is not None and lo == hi else 1))
+        return StrideInterval(
+            lo, hi, stride or (0 if lo is not None and lo == hi else 1))
 
     def mul(self, other: "StrideInterval") -> "StrideInterval":
         if self.is_const:

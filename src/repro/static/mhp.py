@@ -1,0 +1,410 @@
+"""May-happen-in-parallel analysis over mini-ISA programs.
+
+The machine starts every program thread at cycle 0 (there is no dynamic
+spawn), so the *baseline* is "all cross-thread instruction pairs may
+overlap" and the analysis works by carving out pairs that provably
+cannot: a happens-before relation derived from the ISA's two release/
+acquire idioms, evaluated on top of the abstract interpreter's constant
+addresses (``absint.py``).
+
+Recognized synchronization
+--------------------------
+
+* **Flag handoff** (release store / acquire spin): thread A stores to a
+  constant word ``F`` and thread B spins in a loop re-loading ``F``
+  until its value satisfies an exit test that *excludes the initial
+  value 0* (``bge r, c`` with ``c >= 1``, ``bne r, 0``, ``beq r, c``
+  with ``c != 0``).  Under TSO a plain store has release semantics and
+  the dependent load has acquire semantics, so when B leaves the wait,
+  everything A executed before *every* one of its ``F``-stores has
+  happened.  The rule requires A to be the only thread that may write
+  ``F`` (otherwise another thread could satisfy the wait first) and
+  ``F`` to not be seeded by the workload's initial memory image (the
+  wait could then pass without any store at all).
+
+* **Counting barrier** (``sim/locks.emit_barrier_wait``): every
+  participant ``xadd``-increments a constant word once (the site sits
+  in no loop) and spins until the word reaches ``N``.  When ``N``
+  equals the total number of increment sites, leaving the spin proves
+  every participant's pre-barrier code has executed.
+
+Both rules order *instruction regions* via dominance: the "pre" side of
+an edge is every instruction that dominates all of the releasing
+sites (it must have executed before the flag could be set), and the
+"post" side is every instruction dominated by the spin's exit block
+(it can only execute after the wait observed the flag).  Edges are
+direct — the analysis does not chain happens-before transitively
+across threads — which loses precision but only in the safe direction
+(unordered pairs stay "may happen in parallel").
+
+Mutual exclusion (the cmpxchg lock idiom) is *not* happens-before; it
+is composed separately by the race certifier through the must-held
+locksets of ``lockset.py``.
+"""
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.isa.cfg import ControlFlowGraph
+from repro.isa.instructions import COND_BRANCH_OPS, Opcode
+from repro.isa.program import Program
+from repro.static.absint import (
+    ThreadValueAnalysis,
+    _eval,
+    analyze_thread_values,
+    thread_entry_registers,
+)
+from repro.static.interval import StrideInterval
+
+__all__ = ["FlagWait", "HbEdge", "MhpAnalysis", "analyze_mhp"]
+
+
+class FlagWait:
+    """One recognized acquire spin: re-load a word until it leaves 0."""
+
+    __slots__ = ("thread", "load_index", "branch_index", "addr", "size",
+                 "exit_block", "bound")
+
+    def __init__(self, thread: int, load_index: int, branch_index: int,
+                 addr: int, size: int, exit_block: int,
+                 bound: Optional[int]):
+        self.thread = thread
+        self.load_index = load_index
+        self.branch_index = branch_index
+        self.addr = addr
+        self.size = size
+        #: CFG block entered only when the wait condition held.
+        self.exit_block = exit_block
+        #: The comparison constant of a ``bge`` exit (barrier count),
+        #: ``None`` for equality-shaped exits.
+        self.bound = bound
+
+
+class HbEdge:
+    """One derived happens-before edge between two threads."""
+
+    __slots__ = ("kind", "addr", "src_thread", "dst_thread", "pre", "post")
+
+    def __init__(self, kind: str, addr: int, src_thread: int,
+                 dst_thread: int, pre: FrozenSet[int],
+                 post: FrozenSet[int]):
+        #: "handoff" or "barrier".
+        self.kind = kind
+        #: The synchronization word the edge was derived from.
+        self.addr = addr
+        self.src_thread = src_thread
+        self.dst_thread = dst_thread
+        #: Instruction indices in ``src_thread`` ordered before...
+        self.pre = pre
+        #: ...every instruction index in ``dst_thread`` listed here.
+        self.post = post
+
+    def __repr__(self) -> str:
+        return "<HbEdge %s @0x%x t%d(%d insts) -> t%d(%d insts)>" % (
+            self.kind, self.addr, self.src_thread, len(self.pre),
+            self.dst_thread, len(self.post))
+
+
+class MhpAnalysis:
+    """Queryable result: which cross-thread pairs are provably ordered."""
+
+    def __init__(self, num_threads: int, edges: List[HbEdge],
+                 sync_addresses: FrozenSet[Tuple[int, int]],
+                 waits: List[FlagWait]):
+        self.num_threads = num_threads
+        self.edges = edges
+        #: ``(addr, size)`` words used as flags or barriers; accesses to
+        #: them are synchronization traffic, not application sharing.
+        self.sync_addresses = sync_addresses
+        #: Every recognized wait (including those that produced no edge).
+        self.waits = waits
+        self._by_pair: Dict[Tuple[int, int], List[HbEdge]] = {}
+        for edge in edges:
+            key = (edge.src_thread, edge.dst_thread)
+            self._by_pair.setdefault(key, []).append(edge)
+
+    def ordered(self, thread_a: int, index_a: int,
+                thread_b: int, index_b: int) -> bool:
+        """True if the pair is provably ordered (either direction)."""
+        if thread_a == thread_b:
+            return True  # program order; same-thread pairs cannot race
+        for edge in self._by_pair.get((thread_a, thread_b), ()):
+            if index_a in edge.pre and index_b in edge.post:
+                return True
+        for edge in self._by_pair.get((thread_b, thread_a), ()):
+            if index_b in edge.pre and index_a in edge.post:
+                return True
+        return False
+
+    def may_happen_in_parallel(self, thread_a: int, index_a: int,
+                               thread_b: int, index_b: int) -> bool:
+        return not self.ordered(thread_a, index_a, thread_b, index_b)
+
+
+# ----------------------------------------------------------------------
+# CFG helpers
+# ----------------------------------------------------------------------
+
+def _natural_loop_bodies(cfg: ControlFlowGraph) -> List[Set[int]]:
+    """Bodies of all natural loops (header included), one per header."""
+    bodies: Dict[int, Set[int]] = {}
+    for block in cfg.blocks:
+        for succ in block.successors:
+            if succ not in cfg.dominators(block.index):
+                continue
+            body = bodies.setdefault(succ, {succ})
+            work = [block.index]
+            while work:
+                node = work.pop()
+                if node in body:
+                    continue
+                body.add(node)
+                work.extend(cfg.blocks[node].predecessors)
+    return list(bodies.values())
+
+
+def _instructions_dominating(cfg: ControlFlowGraph, site: int) -> Set[int]:
+    """Instruction indices that execute before ``site`` on every path."""
+    site_block = cfg.block_of_instruction(site)
+    out: Set[int] = set()
+    for dom in cfg.dominators(site_block.index):
+        if dom == site_block.index:
+            out.update(range(site_block.start, site))
+        else:
+            out.update(cfg.blocks[dom].instruction_indices())
+    return out
+
+
+def _instructions_dominated_by(cfg: ControlFlowGraph,
+                               block_index: int) -> Set[int]:
+    """Instruction indices that can only run after ``block_index`` ran."""
+    out: Set[int] = set()
+    for block in cfg.blocks:
+        if block_index in cfg.dominators(block.index):
+            out.update(block.instruction_indices())
+    return out
+
+
+def _pre_region(cfg: ControlFlowGraph, sites: Iterable[int]) -> FrozenSet[int]:
+    """Instructions dominating *every* site (empty if no sites)."""
+    result: Optional[Set[int]] = None
+    for site in sites:
+        doms = _instructions_dominating(cfg, site)
+        result = doms if result is None else (result & doms)
+    return frozenset(result or ())
+
+
+# ----------------------------------------------------------------------
+# Wait recognition
+# ----------------------------------------------------------------------
+
+def _exit_excludes_zero(op: Opcode, c: int, exit_on_taken: bool) -> bool:
+    """Does the exit edge of the wait branch rule out the value 0?"""
+    if op is Opcode.BEQ:
+        return c != 0 if exit_on_taken else c == 0
+    if op is Opcode.BNE:
+        return c == 0 if exit_on_taken else c != 0
+    if op is Opcode.BGE:
+        return c >= 1 if exit_on_taken else False
+    if op is Opcode.BLT:
+        return False if exit_on_taken else c >= 1
+    return False
+
+
+def _find_waits(thread: int, values: ThreadValueAnalysis) -> List[FlagWait]:
+    """Recognize acquire spins: load a constant word, test, loop."""
+    cfg = values.cfg
+    instructions = cfg.code.instructions
+    loops = _natural_loop_bodies(cfg)
+    waits: List[FlagWait] = []
+    for block in cfg.blocks:
+        if block.end - block.start < 2:
+            continue
+        branch_index = block.end - 1
+        branch = instructions[branch_index]
+        if branch.op not in COND_BRANCH_OPS:
+            continue
+        if branch.a is None or not branch.a.is_reg:
+            continue
+        watched = branch.a.value
+        # The watched register must be freshly loaded from a constant
+        # address inside the same block, with no intervening write.
+        load_index = None
+        for i in range(branch_index - 1, block.start - 1, -1):
+            inst = instructions[i]
+            if inst.op is Opcode.LOAD and inst.rd == watched:
+                load_index = i
+                break
+            if inst.rd == watched:
+                break
+        if load_index is None:
+            continue
+        state = values.states_before.get(load_index)
+        branch_state = values.states_before.get(branch_index)
+        if state is None or branch_state is None:
+            continue
+        load = instructions[load_index]
+        addr = _eval(load.a, state).add(StrideInterval.const(load.offset))
+        if not addr.is_const:
+            continue
+        bound_val = _eval(branch.b, branch_state)
+        if not bound_val.is_const:
+            continue
+        # The branch must be a loop exit whose other edge stays in a
+        # loop that re-runs the load (the spin).
+        spin_loops = [
+            body for body in loops
+            if block.index in body
+        ]
+        exit_block = None
+        for succ in block.successors:
+            in_all = all(succ in body for body in spin_loops)
+            if spin_loops and not in_all:
+                exit_block = succ if exit_block is None else exit_block
+        if exit_block is None:
+            continue
+        # Entering the exit block must *prove* the wait passed: the
+        # spin branch must be its only way in.
+        if cfg.blocks[exit_block].predecessors != [block.index]:
+            continue
+        exit_on_taken = branch.target == cfg.blocks[exit_block].start
+        c = bound_val.lo
+        if not _exit_excludes_zero(branch.op, c, exit_on_taken):
+            continue
+        is_bge_shape = (
+            (branch.op is Opcode.BGE and exit_on_taken)
+            or (branch.op is Opcode.BLT and not exit_on_taken)
+        )
+        waits.append(FlagWait(
+            thread, load_index, branch_index, addr.lo + 0, load.size,
+            exit_block, c if is_bge_shape else None))
+    return waits
+
+
+def _overlapping_store_sites(values: ThreadValueAnalysis, addr: int,
+                             size: int) -> List[int]:
+    """Indices of stores that may write any byte of ``[addr, addr+size)``."""
+    word = StrideInterval.const(addr)
+    return [
+        fp.index for fp in values.footprints
+        if fp.is_store and fp.addr.may_overlap(fp.size, word, size)
+    ]
+
+
+def _exact_const_address(values: ThreadValueAnalysis,
+                         index: int) -> Optional[int]:
+    fp = values.footprint_for(index)
+    if fp is None or not fp.addr.is_const:
+        return None
+    return fp.addr.lo
+
+
+# ----------------------------------------------------------------------
+# The analysis
+# ----------------------------------------------------------------------
+
+def analyze_mhp(
+    program: Program,
+    analyses: Optional[Sequence[ThreadValueAnalysis]] = None,
+    init_addrs: Iterable[int] = (),
+) -> MhpAnalysis:
+    """Derive the happens-before edges of ``program``.
+
+    ``init_addrs`` are addresses seeded by the workload's initial
+    memory image (``BuiltWorkload.init_writes``): a word that may start
+    nonzero cannot anchor a flag rule, because the wait could pass
+    without any store having happened.
+    """
+    if analyses is None:
+        analyses = [
+            analyze_thread_values(
+                code, entry_registers=thread_entry_registers(tid))
+            for tid, code in enumerate(program.threads)
+        ]
+    analyses = list(analyses)
+    seeded = set(init_addrs)
+
+    waits: List[FlagWait] = []
+    for tid, values in enumerate(analyses):
+        waits.extend(_find_waits(tid, values))
+
+    sync_addresses: Set[Tuple[int, int]] = {
+        (wait.addr, wait.size) for wait in waits
+    }
+
+    edges: List[HbEdge] = []
+    for wait in waits:
+        word_seeded = any(
+            wait.addr <= a < wait.addr + wait.size for a in seeded
+        )
+        if word_seeded:
+            continue
+        writer_sites: Dict[int, List[int]] = {}
+        for tid, values in enumerate(analyses):
+            sites = _overlapping_store_sites(values, wait.addr, wait.size)
+            if sites:
+                writer_sites[tid] = sites
+        if wait.thread in writer_sites:
+            # A thread that writes its own flag could satisfy the wait
+            # itself: check the barrier shape, where that is the point.
+            edges.extend(_barrier_edges(wait, analyses, writer_sites))
+            continue
+        if len(writer_sites) == 1:
+            (writer,), (sites,) = writer_sites.keys(), writer_sites.values()
+            pre = _pre_region(analyses[writer].cfg, sites)
+            post = frozenset(_instructions_dominated_by(
+                analyses[wait.thread].cfg, wait.exit_block))
+            if pre and post:
+                edges.append(HbEdge("handoff", wait.addr, writer,
+                                    wait.thread, pre, post))
+        else:
+            edges.extend(_barrier_edges(wait, analyses, writer_sites))
+
+    return MhpAnalysis(
+        program.num_threads, edges, frozenset(sync_addresses), waits)
+
+
+def _barrier_edges(
+    wait: FlagWait,
+    analyses: Sequence[ThreadValueAnalysis],
+    writer_sites: Dict[int, List[int]],
+) -> List[HbEdge]:
+    """Edges for the counting-barrier shape, or none if it is not one.
+
+    Soundness conditions: every write to the word is a single-use
+    ``xadd`` of exactly 1 at an exact constant address (so the word
+    counts arrivals), and the wait's exit bound equals the total number
+    of increment sites (so leaving the spin proves every site ran).
+    """
+    if wait.bound is None:
+        return []
+    total_sites = 0
+    for tid, sites in writer_sites.items():
+        values = analyses[tid]
+        loops = _natural_loop_bodies(values.cfg)
+        for site in sites:
+            inst = values.cfg.code.instructions[site]
+            if inst.op is not Opcode.XADD:
+                return []
+            if inst.b is None or inst.b.is_reg or inst.b.value != 1:
+                return []
+            if _exact_const_address(values, site) != wait.addr:
+                return []
+            site_block = values.cfg.block_of_instruction(site).index
+            if any(site_block in body for body in loops):
+                return []  # re-armed barrier: counting argument breaks
+            total_sites += 1
+    if total_sites != wait.bound:
+        return []
+    post = frozenset(_instructions_dominated_by(
+        analyses[wait.thread].cfg, wait.exit_block))
+    if not post:
+        return []
+    edges = []
+    for tid, sites in writer_sites.items():
+        if tid == wait.thread:
+            continue
+        pre = _pre_region(analyses[tid].cfg, sites)
+        if pre:
+            edges.append(HbEdge("barrier", wait.addr, tid,
+                                wait.thread, pre, post))
+    return edges

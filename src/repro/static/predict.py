@@ -27,6 +27,7 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro._constants import CACHE_LINE_SIZE
 from repro.core.detect.report import ContentionClass
+from repro.isa.instructions import Opcode
 from repro.isa.program import Program, SourceLocation
 from repro.static.absint import (
     Footprint,
@@ -43,9 +44,11 @@ from repro.static.lockset import (
 
 __all__ = [
     "StaticAccess",
+    "LineAccessCollection",
     "LinePrediction",
     "StaticLineReport",
     "StaticSharingReport",
+    "collect_line_accesses",
     "predict_program",
 ]
 
@@ -62,11 +65,12 @@ class StaticAccess:
     """One footprint's contribution to one cache line."""
 
     __slots__ = ("thread", "index", "loc", "line", "bitmap", "is_write",
-                 "locks")
+                 "locks", "pc", "op")
 
     def __init__(self, thread: int, index: int, loc: Optional[SourceLocation],
                  line: int, bitmap: int, is_write: bool,
-                 locks: FrozenSet[int]):
+                 locks: FrozenSet[int], pc: int = -1,
+                 op: Optional[Opcode] = None):
         self.thread = thread
         self.index = index
         self.loc = loc
@@ -74,6 +78,10 @@ class StaticAccess:
         self.bitmap = bitmap
         self.is_write = is_write
         self.locks = locks
+        #: Virtual address of the instruction (evidence for certificates).
+        self.pc = pc
+        #: The opcode behind the access (atomicity matters to ``race.py``).
+        self.op = op
 
 
 class LinePrediction:
@@ -231,8 +239,33 @@ def _line_bitmaps(addr: StrideInterval, size: int) -> Dict[int, int]:
     return bitmaps
 
 
-def predict_program(program: Program) -> StaticSharingReport:
-    """Run the full static sharing prediction over ``program``."""
+class LineAccessCollection:
+    """The shared front half of the predictor and the race certifier.
+
+    One abstract-interpretation + lockset pass over every thread, with
+    each bounded footprint projected onto per-cache-line byte bitmaps.
+    Both consumers (``predict_program`` and ``race.certify_program``)
+    classify the same ``accesses_by_line``, so their line universes are
+    identical by construction.
+    """
+
+    __slots__ = ("analyses", "locksets", "lock_universe",
+                 "accesses_by_line", "clipped")
+
+    def __init__(self, analyses: List[ThreadValueAnalysis],
+                 locksets: List[ThreadLocksets],
+                 lock_universe: FrozenSet[int],
+                 accesses_by_line: Dict[int, List[StaticAccess]],
+                 clipped: List[Tuple[int, Footprint]]):
+        self.analyses = analyses
+        self.locksets = locksets
+        self.lock_universe = lock_universe
+        self.accesses_by_line = accesses_by_line
+        self.clipped = clipped
+
+
+def collect_line_accesses(program: Program) -> LineAccessCollection:
+    """Run value + lockset analysis and bucket accesses by cache line."""
     analyses: List[ThreadValueAnalysis] = []
     for tid, code in enumerate(program.threads):
         analyses.append(analyze_thread_values(
@@ -257,7 +290,18 @@ def predict_program(program: Program) -> StaticSharingReport:
             for line, bitmap in _line_bitmaps(addr, fp.size).items():
                 accesses_by_line.setdefault(line, []).append(StaticAccess(
                     tid, fp.index, fp.inst.loc, line, bitmap,
-                    fp.is_store, locks))
+                    fp.is_store, locks, pc=fp.inst.pc, op=fp.inst.op))
+    return LineAccessCollection(
+        analyses, locksets, frozenset(lock_universe), accesses_by_line,
+        clipped)
+
+
+def predict_program(program: Program) -> StaticSharingReport:
+    """Run the full static sharing prediction over ``program``."""
+    collection = collect_line_accesses(program)
+    accesses_by_line = collection.accesses_by_line
+    clipped = collection.clipped
+    lock_universe = collection.lock_universe
 
     line_predictions: Dict[int, LinePrediction] = {}
     by_location: Dict[SourceLocation, StaticLineReport] = {}

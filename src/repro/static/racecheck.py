@@ -1,0 +1,177 @@
+"""Race-certification CLI: the repo's own data-race lint pass.
+
+Usage::
+
+    python -m repro.static.racecheck                 # certify registry +
+                                                     # variants vs goldens
+    python -m repro.static.racecheck --regen         # rewrite the goldens
+    python -m repro.static.racecheck NAME [NAME...]  # certify workloads;
+                                                     # exit 1 if any RACE
+    python -m repro.static.racecheck --golden PATH   # alternate golden file
+
+With no workload arguments the whole registry plus the off-registry
+racy variants are certified and compared against the committed golden
+verdicts (``tests/golden/race_verdicts.json``): any drift — a workload
+flipping safe/unsafe, per-class line counts moving, racy source
+locations changing — exits nonzero, so CI gates on certifier stability
+the same way the run goldens gate on bit-identity.  The positive
+controls are additionally required to certify RACE: a certifier that
+stops seeing planted races fails the check even if the goldens were
+regenerated.
+
+With explicit workload names the exit code reflects safety itself
+(nonzero iff any named workload certifies unsafe), which is the
+"lint one program" mode.
+"""
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Optional
+
+from repro.core.config import LaserConfig
+from repro.static.race import SharingCertificate, certify_built
+from repro.workloads import all_workloads, get_workload
+from repro.workloads.registry import variant_workloads
+
+__all__ = ["certificate_summary", "golden_path", "main"]
+
+GOLDEN_SCHEMA_VERSION = 1
+
+#: Variants that must certify RACE no matter what the goldens say.
+POSITIVE_CONTROLS = ("racy_counter", "racy_handoff")
+
+
+def golden_path() -> str:
+    """The committed golden-verdict file, relative to the repo root."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    return os.path.join(root, "tests", "golden", "race_verdicts.json")
+
+
+def certificate_summary(cert: SharingCertificate) -> Dict:
+    """The golden-pinned projection of one certificate.
+
+    Deliberately coarser than the full certificate (which carries
+    per-line byte evidence): the pin is per-class line counts plus the
+    racy source locations, so layout-neutral refactors of the evidence
+    format don't churn the goldens while any verdict movement does.
+    """
+    return {
+        "unsafe": cert.unsafe,
+        "counts": cert.counts(),
+        "clipped_footprints": cert.clipped_footprints,
+        "racy_locations": [str(loc) for loc in cert.racy_locations()],
+    }
+
+
+def _certify_all(config: LaserConfig) -> Dict[str, Dict]:
+    summaries: Dict[str, Dict] = {}
+    for workload in all_workloads() + variant_workloads():
+        built = workload.build(heap_offset=config.heap_shift,
+                               seed=config.seed)
+        summaries[workload.name] = certificate_summary(certify_built(built))
+    return summaries
+
+
+def _diff(golden: Dict[str, Dict], current: Dict[str, Dict]) -> List[str]:
+    problems: List[str] = []
+    for name in sorted(set(golden) | set(current)):
+        if name not in current:
+            problems.append("%s: in goldens but not certified" % name)
+            continue
+        if name not in golden:
+            problems.append("%s: certified but missing from goldens "
+                            "(run --regen)" % name)
+            continue
+        want, got = golden[name], current[name]
+        for key in ("unsafe", "counts", "clipped_footprints",
+                    "racy_locations"):
+            if want.get(key) != got.get(key):
+                problems.append("%s: %s drifted: golden=%r current=%r"
+                                % (name, key, want.get(key), got.get(key)))
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.static.racecheck",
+        description="Certify workload data-race safety against goldens.")
+    parser.add_argument("workloads", nargs="*",
+                        help="workload names (default: whole registry "
+                             "+ variants vs goldens)")
+    parser.add_argument("--regen", action="store_true",
+                        help="rewrite the golden verdict file")
+    parser.add_argument("--golden", default=None,
+                        help="golden file path (default: %s)" % golden_path())
+    args = parser.parse_args(argv)
+    config = LaserConfig()
+
+    if args.workloads:
+        if args.regen:
+            parser.error("--regen takes no workload arguments")
+        unsafe = 0
+        for name in args.workloads:
+            built = get_workload(name).build(
+                heap_offset=config.heap_shift, seed=config.seed)
+            cert = certify_built(built)
+            print("== %s" % name)
+            print(cert.render())
+            print()
+            unsafe += int(cert.unsafe)
+        if unsafe:
+            print("racecheck: %d of %d workload(s) certify UNSAFE"
+                  % (unsafe, len(args.workloads)))
+        return 1 if unsafe else 0
+
+    path = args.golden or golden_path()
+    current = _certify_all(config)
+
+    problems: List[str] = []
+    for name in POSITIVE_CONTROLS:
+        if not current.get(name, {}).get("unsafe"):
+            problems.append(
+                "%s: positive control no longer certifies RACE" % name)
+
+    if args.regen:
+        if problems:
+            for line in problems:
+                print("racecheck: %s" % line)
+            return 1
+        payload = {"version": GOLDEN_SCHEMA_VERSION, "workloads": current}
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print("racecheck: wrote %d verdicts to %s" % (len(current), path))
+        return 0
+
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print("racecheck: cannot read goldens at %s: %s" % (path, exc))
+        print("racecheck: run with --regen to create them")
+        return 1
+    if payload.get("version") != GOLDEN_SCHEMA_VERSION:
+        print("racecheck: unsupported golden schema %r"
+              % payload.get("version"))
+        return 1
+
+    problems.extend(_diff(payload["workloads"], current))
+    unsafe_count = sum(1 for s in current.values() if s["unsafe"])
+    if problems:
+        for line in problems:
+            print("racecheck: %s" % line)
+        print("racecheck: FAIL (%d problem(s) across %d workloads)"
+              % (len(problems), len(current)))
+        return 1
+    print("racecheck: OK — %d workloads match goldens "
+          "(%d unsafe, %d safe; positive controls racy)"
+          % (len(current), unsafe_count, len(current) - unsafe_count))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

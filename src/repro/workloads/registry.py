@@ -6,7 +6,13 @@ from repro.errors import WorkloadError
 from repro.workloads.base import Workload
 from repro.workloads.phoenix import PHOENIX_WORKLOADS
 
-__all__ = ["all_workloads", "get_workload", "workload_names", "suite_workloads"]
+__all__ = [
+    "all_workloads",
+    "get_workload",
+    "workload_names",
+    "suite_workloads",
+    "variant_workloads",
+]
 
 
 def _build_registry() -> Dict[str, Workload]:
@@ -32,7 +38,25 @@ def _build_registry() -> Dict[str, Workload]:
     return registry
 
 
+def _build_variants() -> Dict[str, Workload]:
+    """Off-registry variants (race-certifier positive controls etc.).
+
+    Kept out of :func:`all_workloads` on purpose: the paper's tables and
+    the accuracy experiments are pinned to the 35 benchmark analogs.
+    """
+    from repro.workloads.templates import VARIANT_WORKLOADS
+
+    variants: Dict[str, Workload] = {}
+    for cls in VARIANT_WORKLOADS:
+        instance = cls()
+        if instance.name in variants:
+            raise WorkloadError("duplicate variant name %r" % instance.name)
+        variants[instance.name] = instance
+    return variants
+
+
 _REGISTRY = None
+_VARIANTS = None
 
 
 def _registry() -> Dict[str, Workload]:
@@ -40,6 +64,18 @@ def _registry() -> Dict[str, Workload]:
     if _REGISTRY is None:
         _REGISTRY = _build_registry()
     return _REGISTRY
+
+
+def _variants() -> Dict[str, Workload]:
+    global _VARIANTS
+    if _VARIANTS is None:
+        _VARIANTS = _build_variants()
+        overlap = set(_VARIANTS) & set(_registry())
+        if overlap:
+            raise WorkloadError(
+                "variant names shadow registry workloads: %s"
+                % ", ".join(sorted(overlap)))
+    return _VARIANTS
 
 
 def all_workloads() -> List[Workload]:
@@ -51,13 +87,22 @@ def workload_names() -> List[str]:
     return sorted(_registry())
 
 
+def variant_workloads() -> List[Workload]:
+    """Off-registry variants, by name (e.g. the racy positive controls)."""
+    return [w for _name, w in sorted(_variants().items())]
+
+
 def get_workload(name: str) -> Workload:
     registry = _registry()
-    if name not in registry:
-        raise WorkloadError(
-            "unknown workload %r (have: %s)" % (name, ", ".join(sorted(registry)))
-        )
-    return registry[name]
+    if name in registry:
+        return registry[name]
+    variants = _variants()
+    if name in variants:
+        return variants[name]
+    raise WorkloadError(
+        "unknown workload %r (have: %s)"
+        % (name, ", ".join(sorted(registry) + sorted(variants)))
+    )
 
 
 def suite_workloads(suite: str) -> List[Workload]:

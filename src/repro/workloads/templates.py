@@ -19,11 +19,23 @@ Register budget used by the templates: r0-r9 free for the caller,
 r10-r13 scratch, r14 thread id, r15 stack pointer (reserved).
 """
 
+from typing import List
+
+from repro.core.detect.report import ContentionClass
 from repro.isa.assembler import Assembler
+from repro.isa.program import Program, SourceLocation
+from repro.sim.allocator import Allocator
 from repro.sim.locks import (
     emit_lock_release,
     emit_naive_lock_acquire,
     emit_ttas_lock_acquire,
+)
+from repro.workloads.base import (
+    BugRecord,
+    BuiltWorkload,
+    SheriffSupport,
+    Workload,
+    iterations,
 )
 
 __all__ = [
@@ -32,6 +44,9 @@ __all__ = [
     "emit_locked_update",
     "emit_counter_increment",
     "emit_startup_handoff_writes",
+    "RacyCounter",
+    "RacyHandoff",
+    "VARIANT_WORKLOADS",
 ]
 
 
@@ -144,3 +159,138 @@ def emit_counter_increment(
     carry load-grade (i.e. usable) data addresses.
     """
     asm.addm(addr_reg, 1, size=size)
+
+
+# ----------------------------------------------------------------------
+# Intentionally-racy workload variants (race-certifier positive controls)
+# ----------------------------------------------------------------------
+#
+# These are NOT in the registry that ``all_workloads()`` serves — the
+# accuracy experiments and the paper's tables are pinned to the 35
+# benchmark analogs.  They are resolved by name through
+# ``registry.get_workload`` / ``registry.variant_workloads`` and exist
+# so the race certifier (``static/race.py``) always has known-unsafe
+# programs to classify: CI fails if either ever certifies safe.
+
+
+class RacyCounter(Workload):
+    """False sharing that repair must NOT fix: the hot line is racy.
+
+    One 64-byte line carries a shared result word (bytes 0-7) *and* the
+    four per-thread counters (bytes 8+8*tid).  The counters produce the
+    classic high-rate disjoint-write false sharing LASERREPAIR exists
+    for — but thread 0 also plain-stores the result word before its
+    loop and every worker plain-loads it after, with no flag, lock or
+    barrier ordering the handoff.  That write-read pair is a data race
+    on the same cache line, so the line's certificate verdict is RACE
+    and a `race_gate` run must quarantine the repair instead of
+    attaching an SSB.
+    """
+
+    name = "racy_counter"
+    suite = "variant"
+    FILE = "racy_counter.c"
+    STORE_LINE = 21
+    INC_LINE = 33
+    LOAD_LINE = 41
+    bugs = [
+        BugRecord(
+            [SourceLocation("racy_counter.c", INC_LINE)],
+            ContentionClass.FALSE_SHARING,
+            "per-thread counters packed into one (racy) line",
+            significant=True,
+            sheriff_detects=True,
+        )
+    ]
+    sheriff_support = SheriffSupport.OK
+    #: Ground truth for experiments/race_cmp.py: locations whose line
+    #: carries an actual data race.
+    race_locations = [
+        SourceLocation(FILE, STORE_LINE),
+        SourceLocation(FILE, LOAD_LINE),
+    ]
+
+    def build(self, heap_offset: int = 0, seed: int = 0,
+              scale: float = 1.0) -> BuiltWorkload:
+        allocator = Allocator(base_offset=heap_offset)
+        hot = allocator.malloc(64, align=64, label="hot_line")
+        n = iterations(6000, scale)
+        threads = []
+        for tid in range(self.num_threads):
+            asm = Assembler("racy_counter_%d" % tid)
+            if tid == 0:
+                # Unsynchronized publish: no flag, no fence, no join.
+                asm.at(self.FILE, self.STORE_LINE)
+                asm.mov("r3", hot)
+                asm.store("r3", 1, size=8)
+            asm.at(self.FILE, 30)
+            asm.mov("r1", hot + 8 + 8 * tid)
+            asm.mov("r0", n)
+            asm.label("bump")
+            asm.at(self.FILE, self.INC_LINE)
+            emit_counter_increment(asm, "r1", size=8)
+            asm.at(self.FILE, 35)
+            asm.sub("r0", "r0", 1)
+            asm.bne("r0", 0, "bump")
+            if tid != 0:
+                # Unsynchronized consume of thread 0's publish.
+                asm.at(self.FILE, self.LOAD_LINE)
+                asm.mov("r3", hot)
+                asm.load("r2", "r3", size=8)
+            asm.halt()
+            threads.append(asm.build())
+        return BuiltWorkload(Program(self.name, threads), allocator)
+
+
+class RacyHandoff(Workload):
+    """A write->read array handoff with the synchronization deleted.
+
+    Thread 0 fills a 24-line array; workers immediately scan it.  The
+    safe version of this idiom (``fft``'s transpose, ``string_match``'s
+    dictionary) at least *intends* a startup ordering — here there is
+    provably none, and every handoff line certifies RACE.
+    """
+
+    name = "racy_handoff"
+    suite = "variant"
+    FILE = "racy_handoff.c"
+    WRITE_LINE = 12
+    READ_LINE = 25
+    HANDOFF_LINES = 24
+    bugs: List[BugRecord] = []
+    sheriff_support = SheriffSupport.CRASH
+    race_locations = [
+        SourceLocation(FILE, WRITE_LINE),
+        SourceLocation(FILE, READ_LINE),
+    ]
+
+    def build(self, heap_offset: int = 0, seed: int = 0,
+              scale: float = 1.0) -> BuiltWorkload:
+        allocator = Allocator(base_offset=heap_offset)
+        shared = allocator.malloc(64 * self.HANDOFF_LINES, align=64,
+                                  label="shared")
+        scratch = [
+            allocator.malloc(8 * 512, align=64, label="scratch[%d]" % tid)
+            for tid in range(self.num_threads)
+        ]
+        n = iterations(320, scale)
+        threads = []
+        for tid in range(self.num_threads):
+            asm = Assembler("racy_handoff_%d" % tid)
+            if tid == 0:
+                asm.at(self.FILE, self.WRITE_LINE)
+                emit_startup_handoff_writes(asm, shared, self.HANDOFF_LINES,
+                                            "publish")
+            else:
+                asm.at(self.FILE, self.READ_LINE)
+                emit_handoff_read(asm, shared, self.HANDOFF_LINES, "consume")
+            asm.at(self.FILE, 40)
+            emit_private_stream(asm, scratch[tid], n, "work", do_store=True)
+            asm.halt()
+            threads.append(asm.build())
+        return BuiltWorkload(Program(self.name, threads), allocator)
+
+
+#: Positive-control variants, resolved by ``registry.get_workload`` but
+#: never part of ``all_workloads()``.
+VARIANT_WORKLOADS = [RacyCounter, RacyHandoff]
