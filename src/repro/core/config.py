@@ -60,6 +60,8 @@ class LaserConfig:
         control_max_sav: int = 512,
         race_gate: bool = False,
         static_prefilter: bool = False,
+        profile_enabled: bool = False,
+        trace_spans: bool = False,
     ):
         if sample_after_value < 1:
             raise ValueError("SAV must be >= 1")
@@ -216,6 +218,18 @@ class LaserConfig:
         #: static analysis says can be shared.  Fail-open: applied only
         #: when the certificate is complete (no clipped footprints).
         self.static_prefilter = static_prefilter
+        #: Host-time profiling (``repro.obs.profile``): attribute host
+        #: wall-clock per scheduler slice to each service plus the sim
+        #: core and PEBS drain.  Off by default — a disabled profiler
+        #: costs one branch per hook, and the profiler only *reads* the
+        #: host clock, so simulated outputs are bit-identical on or off.
+        self.profile_enabled = profile_enabled
+        #: Causal span events (``repro.obs.spans``): emit the extra
+        #: ``detect.batch`` trace events that let the span builder link
+        #: record batches to the windows and repairs they caused.  Off
+        #: by default because any extra emission changes the trace
+        #: stream's SHA-256 golden pin.
+        self.trace_spans = trace_spans
 
     def replace(self, **kwargs) -> "LaserConfig":
         """Return a copy with some fields overridden."""
@@ -258,6 +272,8 @@ class LaserConfig:
             control_max_sav=self.control_max_sav,
             race_gate=self.race_gate,
             static_prefilter=self.static_prefilter,
+            profile_enabled=self.profile_enabled,
+            trace_spans=self.trace_spans,
         )
         fields.update(kwargs)
         return LaserConfig(**fields)

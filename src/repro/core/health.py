@@ -92,6 +92,11 @@ class RunHealth:
         # are deliberate budget savings, not loss.
         HealthField("repairs_quarantined", info=True),
         HealthField("records_filtered_static", info=True),
+        # Observability (``repro.obs``).  Info: trace events evicted
+        # from the tracer's ring buffer are a capacity-sizing signal,
+        # not a run degradation — the run behaves identically with or
+        # without the tracer.
+        HealthField("trace_events_dropped", info=True),
     )
     #: Derived views (kept as the historical class-attribute names —
     #: they are part of the public surface; tests and harnesses iterate

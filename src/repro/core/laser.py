@@ -45,6 +45,7 @@ from repro.core.services import (
 )
 from repro.faults import FaultInjector, FaultPlan
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import NULL_PROFILER, HostProfiler
 from repro.obs.telemetry import RunTelemetry
 from repro.obs.trace import NULL_TRACER, EventTracer
 from repro.pebs.driver import KernelDriver
@@ -73,6 +74,7 @@ class LaserRunResult:
         health: Optional[RunHealth] = None,
         telemetry: Optional[RunTelemetry] = None,
         resilience: Optional[ResilienceRuntime] = None,
+        profile: Optional[HostProfiler] = None,
     ):
         self.cycles = cycles
         self.report = report
@@ -90,6 +92,10 @@ class LaserRunResult:
         #: Crash-recovery bundle (``repro.resilience``), or ``None``
         #: when ``config.resilience_enabled`` is off.
         self.resilience = resilience
+        #: Host-time profiler (``repro.obs.profile``) with this run's
+        #: wall-clock breakdown, or ``None`` when
+        #: ``config.profile_enabled`` is off.
+        self.profile = profile
 
     @property
     def detector_cycles(self) -> int:
@@ -164,12 +170,19 @@ class Laser:
             if config.trace_enabled else NULL_TRACER
         )
         telemetry = RunTelemetry(tracer=tracer, metrics=MetricsRegistry())
+        # Host-time profiling follows the same discipline: one shared
+        # profiler (or the NULL_PROFILER), reading only the host clock,
+        # so simulated outputs are bit-identical on or off.
+        profiler = (
+            HostProfiler() if config.profile_enabled else NULL_PROFILER
+        )
         machine = Machine(
             program,
             seed=config.seed,
             allocator=built.allocator,
             fault_injector=injector,
             tracer=tracer,
+            profiler=profiler,
         )
         built.apply_init(machine)
         # Wrong PCs scatter across the whole app text region (most of a
@@ -190,6 +203,7 @@ class Laser:
             outbox_capacity=config.outbox_capacity, injector=injector,
             tracer=tracer,
             journal=runtime.journal if runtime is not None else None,
+            profiler=profiler,
         )
         pmu = PerformanceMonitoringUnit(
             imprecision,
@@ -230,6 +244,7 @@ class Laser:
             health=RunHealth(), driver=driver, pmu=pmu,
             pipeline=pipeline, repairer=self.repairer, runtime=runtime,
             st=DetectorState(config), certificate=certificate,
+            profiler=profiler,
         )
         resilience = ResilienceService()
         scheduler = Scheduler(
@@ -254,4 +269,5 @@ class Laser:
             health=ctx.health,
             telemetry=telemetry,
             resilience=runtime,
+            profile=profiler if config.profile_enabled else None,
         )

@@ -21,6 +21,7 @@ stale; trusting its attachment flags could double-attach).
 
 from typing import List
 
+from repro.obs.profile import NULL_PROFILER
 from repro.resilience import Backoff
 
 __all__ = ["DetectorState", "RunContext", "ssb_buffers", "ssb_totals",
@@ -99,11 +100,11 @@ class RunContext:
                  "repairer", "runtime", "st", "scheduler",
                  "interval", "recovery", "poll_records", "polled",
                  "was_down", "poll_interval_cycles", "control_mode",
-                 "poll_lag_cycles", "certificate")
+                 "poll_lag_cycles", "certificate", "profiler")
 
     def __init__(self, config, machine, program, injector, tracer,
                  telemetry, health, driver, pmu, pipeline, repairer,
-                 runtime, st, certificate=None):
+                 runtime, st, certificate=None, profiler=None):
         self.config = config
         self.machine = machine
         self.program = program
@@ -122,6 +123,9 @@ class RunContext:
         #: Crash-recovery runtime (``repro.resilience``), or ``None``
         #: when ``config.resilience_enabled`` is off.
         self.runtime = runtime
+        #: Host-time profiler (``repro.obs.profile``); the shared
+        #: NULL_PROFILER unless ``config.profile_enabled``.
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
         self.st = st
         #: Back-reference, set by the scheduler at composition time
         #: (services fan checkpoint save/restore out through it).

@@ -41,10 +41,29 @@ class DetectionService(Service):
         ctx.polled = True
 
     @staticmethod
+    def _emit_batch(ctx, batch) -> None:
+        """Span-tracing provenance: one ``detect.batch`` per ingested
+        batch, with the journal seq range when records carry one.
+
+        Gated behind ``config.trace_spans`` (off by default): any new
+        default-on emission would change the trace stream's golden
+        SHA-256 pin.
+        """
+        if not (ctx.config.trace_spans and ctx.tracer.enabled and batch):
+            return
+        seqs = [r.seq for r in batch if getattr(r, "seq", None) is not None]
+        ctx.tracer.emit(
+            "detect.batch", ctx.cycle, records=len(batch),
+            seq_lo=min(seqs) if seqs else None,
+            seq_hi=max(seqs) if seqs else None,
+        )
+
+    @staticmethod
     def _process_poll(ctx, records, recovery: bool) -> None:
         """Process one poll's batch, with journal dedup/ack when enabled."""
         runtime, pipeline = ctx.runtime, ctx.pipeline
         if runtime is None:
+            DetectionService._emit_batch(ctx, records)
             pipeline.process(records)
             return
         journal = runtime.journal
@@ -60,6 +79,7 @@ class DetectionService(Service):
         else:
             batch, dups = RecordJournal.dedup(records, journal.acked_seq)
             runtime.count_deduped(dups)
+        DetectionService._emit_batch(ctx, batch)
         pipeline.process(batch)
         if batch:
             journal.mark_batch(max(r.seq for r in batch), ctx.cycle)
@@ -90,7 +110,9 @@ class DetectionService(Service):
     def on_exit(self, ctx) -> None:
         runtime = ctx.runtime
         if runtime is None:
-            ctx.pipeline.process(ctx.driver.flush_all())
+            final = ctx.driver.flush_all()
+            self._emit_batch(ctx, final)
+            ctx.pipeline.process(final)
             return
         if ctx.was_down:
             # Offline recovery: the detector was down (or halted in
@@ -109,6 +131,7 @@ class DetectionService(Service):
                 ctx.driver.flush_all(), runtime.journal.acked_seq
             )
             runtime.count_deduped(dups)
+            self._emit_batch(ctx, fresh)
             ctx.pipeline.process(fresh)
 
     def health(self, ctx) -> None:

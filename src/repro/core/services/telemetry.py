@@ -60,6 +60,14 @@ class TelemetryService(Service):
                 extra_buffers=ctx.detached_buffers,
             )
 
+    def health(self, ctx) -> None:
+        """Tracer ring-buffer pressure: events evicted oldest-first.
+
+        A capacity-sizing signal (info field), not degradation — the
+        run behaves identically however full the ring gets.
+        """
+        ctx.health.trace_events_dropped = ctx.tracer.events_dropped
+
     def _record_window(self, ctx, stalled: bool, repair_state: str,
                        extra_buffers=()) -> None:
         """Close one telemetry window: deltas since the marker.

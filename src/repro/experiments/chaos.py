@@ -167,12 +167,15 @@ def run_chaos_soak(workloads: Sequence[str] = SOAK_WORKLOADS,
                    schedules: Optional[Sequence[str]] = None,
                    seeds: Sequence[int] = (0,),
                    config: Optional[LaserConfig] = None,
-                   workers: Optional[int] = None) -> List[ChaosOutcome]:
+                   workers: Optional[int] = None,
+                   runner: Optional[SweepRunner] = None) -> List[ChaosOutcome]:
     """The full sweep: every (workload, schedule, seed) cell.
 
     Cells fan out over a :class:`SweepRunner` process pool
     (``workers=None`` sizes to the host; 1 = serial) and merge back in
     grid order, so the outcome list is identical at any worker count.
+    Pass ``runner`` to reuse a caller's runner — its ``cost_summary``
+    then reports what this soak cost in host time.
     """
     cells = [
         (workload, schedule, seed, config)
@@ -180,7 +183,9 @@ def run_chaos_soak(workloads: Sequence[str] = SOAK_WORKLOADS,
         for schedule in (schedules or sorted(CRASH_SCHEDULES))
         for seed in seeds
     ]
-    return SweepRunner(workers).starmap(_chaos_cell, cells)
+    if runner is None:
+        runner = SweepRunner(workers)
+    return runner.starmap(_chaos_cell, cells)
 
 
 def _chaos_cell(workload: str, schedule: str, seed: int,
@@ -234,10 +239,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="process-pool width (default: host cores; "
                              "1 = serial)")
     args = parser.parse_args(argv)
+    runner = SweepRunner(args.workers)
     outcomes = run_chaos_soak(workloads=args.workloads,
                               schedules=args.schedules, seeds=args.seeds,
-                              workers=args.workers)
+                              runner=runner)
     print(render_outcomes(outcomes))
+    print(runner.cost_summary())
     if args.out:
         write_artifact(outcomes, args.out)
         print("wrote %s" % args.out)

@@ -167,13 +167,20 @@ def _mode_rank(mode: str) -> int:
 def run_frontier_sweep(workloads: Optional[Sequence[str]] = None,
                        profiles: Optional[Sequence[str]] = None,
                        seed: int = 0,
-                       workers: Optional[int] = None) -> FrontierResult:
-    """Sweep the (workload × profile) grid; deterministic per seed."""
+                       workers: Optional[int] = None,
+                       runner: Optional[SweepRunner] = None) -> FrontierResult:
+    """Sweep the (workload × profile) grid; deterministic per seed.
+
+    Pass ``runner`` to reuse a caller's :class:`SweepRunner`; its
+    ``cost_summary`` then reports what this grid cost in host time.
+    """
     names = list(workloads or FRONTIER_WORKLOADS)
     profs = list(profiles or PROFILE_ORDER)
     cells = [(name, profile, seed)
              for name in names for profile in profs]
-    rows = SweepRunner(workers).starmap(_frontier_cell, cells)
+    if runner is None:
+        runner = SweepRunner(workers)
+    rows = runner.starmap(_frontier_cell, cells)
     return FrontierResult(list(rows))
 
 
@@ -196,9 +203,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     names = args.workloads.split(",") if args.workloads else None
     profs = args.profiles.split(",") if args.profiles else None
+    runner = SweepRunner(args.workers)
     result = run_frontier_sweep(workloads=names, profiles=profs,
-                                seed=args.seed, workers=args.workers)
+                                seed=args.seed, runner=runner)
     print(result.render())
+    print(runner.cost_summary())
     if args.out:
         with open(args.out, "w") as fh:
             json.dump(result.as_dict(), fh, indent=1, sort_keys=True)

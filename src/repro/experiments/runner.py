@@ -19,6 +19,7 @@ worker count — parallelism changes wall-clock only.
 """
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, List, Optional, Sequence
 
@@ -66,6 +67,10 @@ class SweepRunner:
     Workers receive *cell specs* (names, seeds, configs — small
     picklable values) and build the heavy objects themselves; results
     should likewise be reduced, picklable summaries, not live machines.
+
+    Every ``map`` also records how much host wall-clock each cell cost
+    (``cell_seconds``, measured inside the worker) so sweeps can report
+    their own price — a pure observation that leaves results untouched.
     """
 
     def __init__(self, workers: Optional[int] = None):
@@ -74,9 +79,24 @@ class SweepRunner:
             raise ValueError("workers must be >= 1")
         #: Pool width actually used by the last ``map`` (1 = serial).
         self.used_workers = 1
+        #: Per-cell host wall-clock seconds of the last ``map``, in
+        #: cell order (measured in the worker, so pool scheduling gaps
+        #: are excluded).
+        self.cell_seconds: List[float] = []
+        #: Wall-clock seconds the last ``map`` took end to end on the
+        #: submitting side (what the operator actually waited).
+        self.elapsed_seconds = 0.0
 
     def map(self, fn: Callable, cells: Iterable) -> List:
         cells = list(cells)
+        timed_fn = _Timed(fn)
+        t0 = time.perf_counter()
+        timed = self._dispatch(timed_fn, cells)
+        self.elapsed_seconds = time.perf_counter() - t0
+        self.cell_seconds = [seconds for seconds, _ in timed]
+        return [result for _, result in timed]
+
+    def _dispatch(self, fn: Callable, cells: List) -> List:
         width = min(self.workers, len(cells))
         if width <= 1:
             self.used_workers = 1
@@ -96,6 +116,25 @@ class SweepRunner:
         """``map`` for cells that are argument tuples."""
         return self.map(_Star(fn), cells)
 
+    @property
+    def total_cell_seconds(self) -> float:
+        """Summed per-cell cost of the last ``map`` (CPU-time-ish: what
+        the cells cost, as opposed to what the operator waited)."""
+        return sum(self.cell_seconds)
+
+    def cost_summary(self) -> str:
+        """One line of sweep-cost accounting for CLI footers."""
+        cells = len(self.cell_seconds)
+        if not cells:
+            return "sweep cost: no cells run"
+        worst = max(self.cell_seconds)
+        return (
+            "sweep cost: %d cells, %.2fs total cell time "
+            "(max %.2fs/cell), %.2fs elapsed on %d worker(s)"
+            % (cells, self.total_cell_seconds, worst,
+               self.elapsed_seconds, self.used_workers)
+        )
+
     def __repr__(self):
         return "<SweepRunner workers=%d>" % self.workers
 
@@ -108,6 +147,23 @@ class _Star:
 
     def __call__(self, cell):
         return self.fn(*cell)
+
+
+class _Timed:
+    """Picklable adapter: time one cell in the worker.
+
+    Returns ``(seconds, result)``; the runner strips the timing before
+    handing results back, so sweep outputs are byte-identical to the
+    untimed path.
+    """
+
+    def __init__(self, fn: Callable):
+        self.fn = fn
+
+    def __call__(self, cell):
+        t0 = time.perf_counter()
+        result = self.fn(cell)
+        return time.perf_counter() - t0, result
 
 
 def run_built_native(built: BuiltWorkload, seed: int = 0,

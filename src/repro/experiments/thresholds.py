@@ -86,12 +86,17 @@ def _threshold_cell(name: str, seed: int, scale: float,
 def run_threshold_sweep(workloads=None, seed: int = 0, scale: float = 1.0,
                         thresholds: Optional[List[float]] = None,
                         config: Optional[LaserConfig] = None,
-                        workers: Optional[int] = None) -> ThresholdSweepResult:
+                        workers: Optional[int] = None,
+                        runner: Optional[SweepRunner] = None) -> ThresholdSweepResult:
+    """Figure 9 sweep.  Pass ``runner`` to reuse a caller's
+    :class:`SweepRunner`; its ``cost_summary`` then covers this sweep."""
     cfg = config or LaserConfig()
     sweep = [float(t) for t in (thresholds or THRESHOLDS)]
     names = [w.name for w in (workloads or all_workloads())]
     cells = [(name, seed, scale, tuple(sweep), config) for name in names]
-    grids = SweepRunner(workers).starmap(_threshold_cell, cells)
+    if runner is None:
+        runner = SweepRunner(workers)
+    grids = runner.starmap(_threshold_cell, cells)
 
     points = []
     for index, threshold in enumerate(sweep):
@@ -102,4 +107,6 @@ def run_threshold_sweep(workloads=None, seed: int = 0, scale: float = 1.0,
 
 
 if __name__ == "__main__":  # pragma: no cover
-    print(run_threshold_sweep().render())
+    _runner = SweepRunner(None)
+    print(run_threshold_sweep(runner=_runner).render())
+    print(_runner.cost_summary())

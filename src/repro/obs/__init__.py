@@ -15,9 +15,22 @@ the measurement layer that makes a run legible:
 * :mod:`repro.obs.telemetry` — the per-run bundle: the tracer, the
   metrics registry and the per-window time series exposed on
   ``LaserRunResult.telemetry``.
+* :mod:`repro.obs.profile` — the host-time profiler: scheduler/service
+  lifecycle hooks attributing host wall-clock to each of the six
+  services plus the sim core and PEBS drain, rendered as an ASCII
+  flame-style self-time table (``python -m repro.obs profile``).
+* :mod:`repro.obs.spans` — causal span tracing: promotes the flat
+  trace events into flow trees (records → window → threshold → repair
+  lifecycle) exported as Chrome trace_event flow arrows
+  (``python -m repro.obs spans``).
 * :mod:`repro.obs.bench` — the perf snapshot writer behind
-  ``BENCH_obs.json`` (native vs. LASER-on overhead, wall clock and
-  record throughput across the workload suite).
+  ``BENCH_obs.json`` (native vs. LASER-on overhead — simulated-cycle
+  ratios primary, wall clock informational — across the workload
+  suite).
+* :mod:`repro.obs.bench_core` — the speed scoreboard behind
+  ``BENCH_core.json``: simulator cycles/sec, records/sec through the
+  detection path and per-service self-time shares, the baseline every
+  perf PR is measured against.
 * ``python -m repro.obs`` — runs any registered workload and prints a
   phase timeline plus a per-component cycle breakdown (a per-run
   Figure 12).
@@ -25,10 +38,12 @@ the measurement layer that makes a run legible:
 
 # NOTE: this package is imported by the components it instruments
 # (sim.machine, pebs, detect, repair), so the package init must stay
-# dependency-light: trace/metrics/telemetry only.  The bench writer
-# pulls in workloads + experiments; import it explicitly as
-# ``repro.obs.bench`` (the CLI and CI do).
+# dependency-light: trace/metrics/telemetry/profile only.  The bench
+# writers pull in workloads + experiments; import them explicitly as
+# ``repro.obs.bench`` / ``repro.obs.bench_core`` (the CLI and CI do);
+# ``repro.obs.spans`` is pure but imported explicitly for symmetry.
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profile import NULL_PROFILER, HostProfiler, render_profile
 from repro.obs.telemetry import RunTelemetry, WindowStats
 from repro.obs.trace import NULL_TRACER, EventTracer, TraceEvent
 
@@ -42,4 +57,7 @@ __all__ = [
     "MetricsRegistry",
     "WindowStats",
     "RunTelemetry",
+    "HostProfiler",
+    "NULL_PROFILER",
+    "render_profile",
 ]

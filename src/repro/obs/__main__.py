@@ -5,10 +5,17 @@ record flow and repair state) and the per-component cycle breakdown
 (application, PMU assist stalls, kernel driver, userspace detector),
 plus the repair/degradation lifecycle events from the trace.
 
+Subcommands extend the report into the performance observatory:
+``profile`` renders the host-time flame table (where the *wall clock*
+went, as opposed to simulated cycles), and ``spans`` renders the causal
+flow trees linking record batches to the repairs they caused.
+
 Examples::
 
     python -m repro.obs linear_regression
     python -m repro.obs kmeans --seed 3 --trace kmeans_trace.json
+    python -m repro.obs profile histogram --json prof.json
+    python -m repro.obs spans histogram' --out spans_trace.json
     python -m repro.obs --smoke          # CI smoke: run + verify exports
     python -m repro.obs --list
 """
@@ -49,6 +56,13 @@ def _breakdown(result: LaserRunResult) -> str:
            stats.undecodable_pcs, result.health.records_dropped,
            result.health.records_pending_at_exit)
     )
+    tracer = result.telemetry.tracer
+    lines.append(
+        "ring: %d events emitted, %d retained, %d dropped "
+        "(capacity %d)"
+        % (tracer.events_emitted, len(tracer), tracer.events_dropped,
+           tracer.capacity)
+    )
     return "\n".join(lines)
 
 
@@ -74,11 +88,13 @@ def _lifecycle(result: LaserRunResult, limit: int = 40) -> str:
 
 
 def run_one(name: str, seed: int = 0, scale: float = 1.0,
-            repair: bool = True, capacity: int = 65_536) -> LaserRunResult:
+            repair: bool = True, capacity: int = 65_536,
+            profile: bool = False, spans: bool = False) -> LaserRunResult:
     from repro.workloads.registry import get_workload
 
     config = LaserConfig(seed=seed, repair_enabled=repair,
-                         trace_enabled=True, trace_capacity=capacity)
+                         trace_enabled=True, trace_capacity=capacity,
+                         profile_enabled=profile, trace_spans=spans)
     return Laser(config).run_workload(get_workload(name), scale=scale)
 
 
@@ -130,11 +146,92 @@ def smoke() -> int:
     return 0
 
 
+def _profile_main(argv: List[str]) -> int:
+    """``python -m repro.obs profile <workload>``: the host-time table."""
+    import json
+
+    from repro.obs.profile import render_profile
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs profile",
+        description="Run a workload with host-time profiling and render "
+                    "the flame-style self-time table.",
+    )
+    parser.add_argument("workload", nargs="?", default="linear_regression")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--no-repair", action="store_true")
+    parser.add_argument("--json", metavar="FILE",
+                        help="also write the breakdown as JSON")
+    args = parser.parse_args(argv)
+
+    result = run_one(args.workload, seed=args.seed, scale=args.scale,
+                     repair=not args.no_repair, profile=True)
+    print(render_profile(
+        result.profile,
+        title="== host-time profile: %s (%d simulated cycles)"
+              % (args.workload, result.cycles),
+    ))
+    shares = result.profile.aggregate_shares()
+    top = sorted(shares.items(), key=lambda kv: -kv[1])[:3]
+    print("top self-time: " + "  ".join(
+        "%s=%.1f%%" % (label, 100.0 * share) for label, share in top))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(result.profile.as_dict(), fh, sort_keys=True, indent=1)
+            fh.write("\n")
+        print("wrote profile JSON to %s" % args.json)
+    return 0
+
+
+def _spans_main(argv: List[str]) -> int:
+    """``python -m repro.obs spans <workload>``: the causal flow trees."""
+    from repro.obs.spans import build_spans
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs spans",
+        description="Run a workload with span tracing and render the "
+                    "causal flow trees (records -> window -> threshold "
+                    "-> repair lifecycle).",
+    )
+    parser.add_argument("workload", nargs="?", default="histogram'")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--no-repair", action="store_true")
+    parser.add_argument("--max-windows", type=int, default=8,
+                        help="window trees to print (0 = all)")
+    parser.add_argument("--out", metavar="FILE",
+                        help="write the Chrome trace with flow arrows "
+                             "(open in Perfetto)")
+    args = parser.parse_args(argv)
+
+    result = run_one(args.workload, seed=args.seed, scale=args.scale,
+                     repair=not args.no_repair, spans=True)
+    spans = build_spans(result.telemetry.tracer.events())
+    print("== causal spans: %s" % args.workload)
+    print(spans.render(max_windows=args.max_windows))
+    if args.out:
+        spans.write_chrome_trace(args.out)
+        print("wrote flow trace to %s (open at https://ui.perfetto.dev)"
+              % args.out)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Observatory subcommands; the bare form keeps its legacy surface
+    # (`python -m repro.obs <workload>`).
+    if argv and argv[0] == "profile":
+        return _profile_main(argv[1:])
+    if argv and argv[0] == "spans":
+        return _spans_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
         description="Run a workload under LASER with tracing on and "
-                    "print the phase timeline + cycle breakdown.",
+                    "print the phase timeline + cycle breakdown.  "
+                    "Subcommands: profile (host-time flame table), "
+                    "spans (causal flow trees).",
     )
     parser.add_argument("workload", nargs="?", default="linear_regression",
                         help="registered workload name "

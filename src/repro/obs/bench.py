@@ -3,17 +3,25 @@
 Runs a suite of workloads native and under LASER and emits a
 schema-versioned ``BENCH_obs.json`` capturing, per workload:
 
-* simulated cycle overhead (LASER-on / native, trimmed mean over seeds
-  — the paper's averaging discipline, see ``experiments.runner``);
-* wall-clock seconds for both modes (host-dependent, informational);
+* **simulated cycle overhead** (LASER-on / native, trimmed mean over
+  seeds — the paper's averaging discipline, see ``experiments.runner``)
+  — the *primary* metric: seed-deterministic, so drift is always a real
+  behavior change.  Note it can legitimately sit *below* 1.0 — online
+  repair genuinely speeds up the workloads it fixes (histogram' runs
+  ~10% faster repaired), so a sub-unity geomean is repair paying for
+  the monitor, not measurement noise;
+* wall-clock seconds for both modes and the wall-clock overhead ratio
+  (``wall_overhead``) — host-dependent, *informational only*: never
+  gated, never equality-checked (host jitter can push it either side of
+  1.0 regardless of what the simulated cycles say);
 * detector record throughput (records/sec of wall clock);
 * HITM volume and whether online repair engaged.
 
 The point is longitudinal: every future PR can regenerate the snapshot
 and diff it against the committed one, so "made the hot path faster"
 and "regressed overhead 3x" are both machine-checkable claims instead
-of folklore.  Simulated-cycle fields are seed-deterministic; wall-clock
-fields vary with the host and are excluded from any equality check.
+of folklore.  The drift gate (``max_drift_pct``) reads only the
+simulated-cycle fields for exactly this reason.
 
 Usage::
 
@@ -55,8 +63,11 @@ DEFAULT_BENCH_WORKLOADS = [
     "word_count",
 ]
 
-#: Seed-count for the trimmed mean (3 = min where trimming does work).
-DEFAULT_BENCH_RUNS = 3
+#: Seed-count for the trimmed mean.  5 (middle-3 average) rather than
+#: the minimal 3: the informational wall-clock fields are pure host
+#: measurement, and the wider trim keeps them from whipsawing between
+#: regenerations on a noisy host.
+DEFAULT_BENCH_RUNS = 5
 
 
 def _bench_one(name: str, runs: int, scale: float,
@@ -93,11 +104,16 @@ def _bench_one(name: str, runs: int, scale: float,
     native = trimmed_mean(native_cycles)
     laser = trimmed_mean(laser_cycles)
     return {
+        # Primary (seed-deterministic): simulated-cycle overhead.
         "native_cycles": native,
         "laser_cycles": laser,
         "overhead": laser / native if native else 0.0,
+        # Informational (host-dependent): wall clock.  Excluded from
+        # the drift gate and every equality check.
         "native_wall_s": round(native_wall, 4),
         "laser_wall_s": round(laser_wall, 4),
+        "wall_overhead": round(laser_wall / native_wall, 4)
+        if native_wall > 0 else 0.0,
         "records_seen": records_seen,
         "records_per_sec": round(records_seen / laser_wall, 1)
         if laser_wall > 0 else 0.0,
@@ -110,18 +126,22 @@ def _bench_one(name: str, runs: int, scale: float,
 def collect_bench(workload_names: Optional[List[str]] = None,
                   runs: int = DEFAULT_BENCH_RUNS, scale: float = 1.0,
                   config: Optional[LaserConfig] = None,
-                  workers: Optional[int] = None) -> Dict:
+                  workers: Optional[int] = None,
+                  runner: Optional[SweepRunner] = None) -> Dict:
     """Measure the suite; returns the ``BENCH_obs.json`` document.
 
     Workloads shard over the :class:`SweepRunner` process pool; the
     simulated-cycle fields are seed-deterministic and merge in name
     order, so they are identical at any worker count (wall-clock
     fields are host-dependent either way, and already excluded from
-    equality checks).
+    equality checks).  Pass ``runner`` to reuse a caller's runner (its
+    ``cost_summary`` then covers this sweep).
     """
     names = workload_names or DEFAULT_BENCH_WORKLOADS
     cells = [(name, runs, scale, config) for name in names]
-    measured = SweepRunner(workers).starmap(_bench_one, cells)
+    if runner is None:
+        runner = SweepRunner(workers)
+    measured = runner.starmap(_bench_one, cells)
     workloads: Dict[str, Dict] = dict(zip(names, measured))
     overheads = [w["overhead"] for w in workloads.values() if w["overhead"]]
     return {
@@ -131,6 +151,10 @@ def collect_bench(workload_names: Optional[List[str]] = None,
             "scale": scale,
             "seeds": list(range(runs)),
             "averaging": "trimmed mean (drop min and max)",
+            "note": "overhead is simulated-cycle based (primary, "
+                    "deterministic; <1.0 = online repair sped the "
+                    "workload up); wall_* fields are host-dependent "
+                    "and informational only",
         },
         "workloads": workloads,
         "geomean_overhead": geomean(overheads) if overheads else 0.0,
@@ -148,17 +172,24 @@ def write_bench(path: str, bench: Optional[Dict] = None, **collect_kwargs) -> Di
 
 
 def render_bench(bench: Dict) -> str:
-    """Human-readable summary of one snapshot."""
-    rows = ["%-20s %9s %9s %8s %10s %s"
-            % ("workload", "native", "laser", "overhead", "recs/s", "repaired")]
+    """Human-readable summary of one snapshot.
+
+    ``overhead`` (simulated cycles, deterministic) is the primary
+    column; ``wall`` is the informational host-clock ratio.
+    """
+    rows = ["%-20s %9s %9s %8s %7s %10s %s"
+            % ("workload", "native", "laser", "overhead", "wall",
+               "recs/s", "repaired")]
     for name in sorted(bench["workloads"]):
         w = bench["workloads"][name]
+        wall = w.get("wall_overhead", 0.0)
         rows.append(
-            "%-20s %9.0f %9.0f %7.3fx %10.0f %s"
+            "%-20s %9.0f %9.0f %7.3fx %6.2fx %10.0f %s"
             % (name, w["native_cycles"], w["laser_cycles"], w["overhead"],
-               w["records_per_sec"], "yes" if w["repaired"] else "")
+               wall, w["records_per_sec"], "yes" if w["repaired"] else "")
         )
-    rows.append("geomean overhead: %.3fx" % bench["geomean_overhead"])
+    rows.append("geomean overhead: %.3fx (simulated cycles; <1.0 = "
+                "online repair net speedup)" % bench["geomean_overhead"])
     return "\n".join(rows)
 
 
@@ -235,9 +266,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "from the baseline")
     args = parser.parse_args(argv)
     names = args.workloads.split(",") if args.workloads else None
+    runner = SweepRunner(args.workers)
     bench = write_bench(args.out, workload_names=names, runs=args.runs,
-                        scale=args.scale, workers=args.workers)
+                        scale=args.scale, runner=runner)
     print(render_bench(bench))
+    print(runner.cost_summary())
     print("wrote %s (%d workloads)" % (args.out, len(bench["workloads"])))
     if args.against:
         with open(args.against) as fh:

@@ -1,0 +1,303 @@
+"""The speed scoreboard: how fast the *simulator itself* runs.
+
+``BENCH_obs.json`` answers "what does LASER cost the monitored
+application" in simulated cycles; this writer answers the question
+every perf PR needs first: "how fast does the reproduction execute on
+the host" — the baseline ROADMAP item 1's 10x vectorization target is
+measured against.  Per workload it captures:
+
+* **sim_cycles_per_sec** — simulated cycles retired per host second
+  with LASER attached (the event-loop + detection throughput);
+* **native_cycles_per_sec** — the same for an unmonitored run (the
+  pure event-loop speed ceiling);
+* **records_per_sec** — stripped PEBS records through the detection
+  path per host second (the number the vectorization PR must 10x);
+* **self_time_shares** — the host-time profiler's per-category
+  breakdown (``sim.core``, ``pebs.drain``, the six services), merged
+  across seeds, saying *where* the host time goes;
+* **laser_cycles** / **records_seen** — seed-deterministic anchors so
+  a rate change can be attributed to host speed vs. behavior change.
+
+Rates are host-dependent by nature, so the committed snapshot is a
+*trajectory record*, not an equality pin: the CI drift gate
+(``--against --max-drift-pct``) thresholds the relative rate drift
+generously — it exists to catch order-of-magnitude regressions (an
+accidentally quadratic hot path), not 10% host jitter.  The
+deterministic anchors, by contrast, should not move at all unless
+behavior changed.
+
+Workloads shard over :class:`~repro.experiments.runner.SweepRunner`
+(rates are measured *inside* each worker, so pool width changes
+wall-clock, not the measured rates).
+
+Usage::
+
+    python -m repro.obs.bench_core --out BENCH_core.json [--runs N]
+        [--workloads a,b,c] [--workers W]
+        [--against BENCH_core.json --max-drift-pct 75]
+"""
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.core.config import LaserConfig
+from repro.experiments.runner import (
+    SweepRunner,
+    run_laser_on,
+    run_native,
+    trimmed_mean,
+)
+from repro.experiments.tables import geomean
+from repro.obs.bench import DEFAULT_BENCH_WORKLOADS
+from repro.obs.profile import HostProfiler
+
+__all__ = ["BENCH_CORE_SCHEMA", "collect_bench_core", "write_bench_core",
+           "render_bench_core", "max_rate_drift_pct", "diff_bench_core"]
+
+#: Bump on any backwards-incompatible change to the JSON layout.
+BENCH_CORE_SCHEMA = "laser-core-bench/v1"
+
+#: Seeds per workload.  Rates use the trimmed mean over per-seed rates
+#: (drop min and max — the paper's averaging discipline), so 5 gives a
+#: middle-3 average.
+DEFAULT_CORE_RUNS = 5
+
+#: The rate fields the CI drift gate thresholds.
+RATE_FIELDS = ("native_cycles_per_sec", "sim_cycles_per_sec",
+               "records_per_sec")
+
+
+def _bench_core_one(name: str, runs: int, scale: float) -> Dict:
+    """Measure one workload's host-speed profile (runs in a worker)."""
+    from repro.workloads.registry import get_workload
+
+    workload = get_workload(name)
+    native_rates: List[float] = []
+    for seed in range(runs):
+        t0 = time.perf_counter()
+        result = run_native(workload, seed=seed, scale=scale)
+        elapsed = time.perf_counter() - t0
+        if elapsed > 0:
+            native_rates.append(result.cycles / elapsed)
+
+    sim_rates: List[float] = []
+    record_rates: List[float] = []
+    laser_cycles: List[float] = []
+    records_seen = 0
+    merged = HostProfiler()
+    config = LaserConfig(profile_enabled=True)
+    for seed in range(runs):
+        t0 = time.perf_counter()
+        result = run_laser_on(workload, seed=seed, scale=scale,
+                              config=config)
+        elapsed = time.perf_counter() - t0
+        laser_cycles.append(float(result.cycles))
+        records_seen += result.pipeline.stats.records_seen
+        if elapsed > 0:
+            sim_rates.append(result.cycles / elapsed)
+            record_rates.append(
+                result.pipeline.stats.records_seen / elapsed)
+        if result.profile is not None:
+            merged.merge(result.profile)
+
+    shares = merged.aggregate_shares()
+    return {
+        # Host-dependent rates (the scoreboard proper).
+        "native_cycles_per_sec": round(trimmed_mean(native_rates), 1)
+        if native_rates else 0.0,
+        "sim_cycles_per_sec": round(trimmed_mean(sim_rates), 1)
+        if sim_rates else 0.0,
+        "records_per_sec": round(trimmed_mean(record_rates), 1)
+        if record_rates else 0.0,
+        # Host-dependent attribution (where the time goes).
+        "self_time_shares": {
+            label: round(share, 4) for label, share in sorted(shares.items())
+        },
+        # Seed-deterministic anchors (attribute rate moves to host
+        # speed vs. behavior change).
+        "laser_cycles": trimmed_mean(laser_cycles),
+        "records_seen": records_seen,
+    }
+
+
+def collect_bench_core(workload_names: Optional[List[str]] = None,
+                       runs: int = DEFAULT_CORE_RUNS, scale: float = 1.0,
+                       workers: Optional[int] = None,
+                       runner: Optional[SweepRunner] = None) -> Dict:
+    """Measure the suite; returns the ``BENCH_core.json`` document.
+
+    Pass ``runner`` to reuse a caller's :class:`SweepRunner` (its
+    ``cost_summary`` then covers this sweep); otherwise one is built
+    from ``workers``.
+    """
+    names = workload_names or DEFAULT_BENCH_WORKLOADS
+    if runner is None:
+        runner = SweepRunner(workers)
+    cells = [(name, runs, scale) for name in names]
+    measured = runner.starmap(_bench_core_one, cells)
+    workloads: Dict[str, Dict] = dict(zip(names, measured))
+    return {
+        "schema": BENCH_CORE_SCHEMA,
+        "config": {
+            "runs": runs,
+            "scale": scale,
+            "seeds": list(range(runs)),
+            "averaging": "trimmed mean over per-seed rates "
+                         "(drop min and max)",
+            "note": "rates are host-dependent; laser_cycles and "
+                    "records_seen are seed-deterministic anchors",
+        },
+        "workloads": workloads,
+        "geomean_sim_cycles_per_sec": geomean(
+            [w["sim_cycles_per_sec"] for w in workloads.values()
+             if w["sim_cycles_per_sec"]] or [0.0]),
+        "geomean_records_per_sec": geomean(
+            [w["records_per_sec"] for w in workloads.values()
+             if w["records_per_sec"]] or [0.0]),
+    }
+
+
+def write_bench_core(path: str, bench: Optional[Dict] = None,
+                     **collect_kwargs) -> Dict:
+    """Collect (unless given) and write the scoreboard; returns it."""
+    if bench is None:
+        bench = collect_bench_core(**collect_kwargs)
+    with open(path, "w") as fh:
+        json.dump(bench, fh, sort_keys=True, indent=1)
+        fh.write("\n")
+    return bench
+
+
+def render_bench_core(bench: Dict) -> str:
+    """Human-readable scoreboard summary."""
+    rows = ["%-20s %12s %12s %10s  %s"
+            % ("workload", "native cyc/s", "laser cyc/s", "recs/s",
+               "top self-time")]
+    for name in sorted(bench["workloads"]):
+        w = bench["workloads"][name]
+        shares = w.get("self_time_shares", {})
+        top = sorted(shares.items(), key=lambda kv: -kv[1])[:2]
+        top_text = " ".join(
+            "%s=%.0f%%" % (label, 100.0 * share) for label, share in top)
+        rows.append(
+            "%-20s %12.0f %12.0f %10.0f  %s"
+            % (name, w["native_cycles_per_sec"], w["sim_cycles_per_sec"],
+               w["records_per_sec"], top_text)
+        )
+    rows.append("geomean: %.0f sim cycles/s, %.0f records/s"
+                % (bench["geomean_sim_cycles_per_sec"],
+                   bench["geomean_records_per_sec"]))
+    return "\n".join(rows)
+
+
+def max_rate_drift_pct(old: Dict, new: Dict) -> float:
+    """Largest relative rate *regression* (percent) vs a baseline.
+
+    Scans the :data:`RATE_FIELDS` for every workload present in both
+    snapshots and reports the worst percentage *drop* — the scoreboard
+    is a speed floor, so getting faster is never a failure.  Rates are
+    host-dependent (pool contention, runner hardware), so gate
+    thresholds should stay generous: the gate exists to catch
+    order-of-magnitude regressions (an accidentally quadratic hot
+    path), not host jitter — an 85%% threshold tolerates the host being
+    ~6x slower than the baseline machine and still fails a 10x
+    regression.
+    """
+    worst = 0.0
+    for name, entry in new.get("workloads", {}).items():
+        base = old.get("workloads", {}).get(name)
+        if base is None:
+            continue
+        for field in RATE_FIELDS:
+            if base.get(field):
+                drop = 100.0 * (base[field] - entry[field]) / base[field]
+                worst = max(worst, drop)
+    return worst
+
+
+def diff_bench_core(old: Dict, new: Dict) -> str:
+    """Rate and anchor drift between two scoreboards."""
+    rows = []
+    for name in sorted(new["workloads"]):
+        entry = new["workloads"][name]
+        base = old.get("workloads", {}).get(name)
+        if base is None:
+            rows.append("%-20s (not in baseline)" % name)
+            continue
+        for field in RATE_FIELDS:
+            if base.get(field):
+                delta = 100.0 * (entry[field] - base[field]) / base[field]
+                if abs(delta) >= 1.0:
+                    rows.append("%-20s %s: %.0f -> %.0f (%+.1f%%)"
+                                % (name, field, base[field], entry[field],
+                                   delta))
+        # Deterministic anchors: any move here is a behavior change.
+        for field in ("laser_cycles", "records_seen"):
+            if entry.get(field) != base.get(field):
+                rows.append("%-20s %s: %s -> %s (BEHAVIOR CHANGE)"
+                            % (name, field, base.get(field),
+                               entry.get(field)))
+    if not rows:
+        return "no rate drift >= 1% and no anchor drift vs baseline"
+    return "\n".join(rows)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.bench_core",
+        description="Write the BENCH_core.json speed scoreboard "
+                    "(simulator cycles/sec, records/sec, per-service "
+                    "self-time shares).",
+    )
+    parser.add_argument("--out", default="BENCH_core.json",
+                        help="output path (default: %(default)s)")
+    parser.add_argument("--runs", type=int, default=DEFAULT_CORE_RUNS,
+                        help="seeds per workload (default: %(default)s)")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale factor (default: %(default)s)")
+    parser.add_argument("--workloads", default=None,
+                        help="comma-separated workload names "
+                             "(default: the bench suite)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool width (default: host cores; "
+                             "1 = serial)")
+    parser.add_argument("--against", metavar="BASELINE",
+                        help="also print rate drift vs a committed "
+                             "baseline scoreboard")
+    parser.add_argument("--max-drift-pct", type=float, default=None,
+                        metavar="PCT",
+                        help="with --against: exit 1 if any rate drifts "
+                             "more than PCT%% from the baseline "
+                             "(generous: rates are host-dependent)")
+    args = parser.parse_args(argv)
+    names = args.workloads.split(",") if args.workloads else None
+    runner = SweepRunner(args.workers)
+    bench = write_bench_core(args.out, workload_names=names,
+                             runs=args.runs, scale=args.scale,
+                             runner=runner)
+    print(render_bench_core(bench))
+    print(runner.cost_summary())
+    print("wrote %s (%d workloads)" % (args.out, len(bench["workloads"])))
+    if args.against:
+        with open(args.against) as fh:
+            baseline = json.load(fh)
+        print("\n-- drift vs %s" % args.against)
+        print(diff_bench_core(baseline, bench))
+        if args.max_drift_pct is not None:
+            worst = max_rate_drift_pct(baseline, bench)
+            if worst > args.max_drift_pct:
+                print("RATE DRIFT GATE FAILED: %.1f%% > %.1f%% allowed"
+                      % (worst, args.max_drift_pct))
+                return 1
+            print("rate drift gate ok: %.1f%% <= %.1f%% allowed"
+                  % (worst, args.max_drift_pct))
+    elif args.max_drift_pct is not None:
+        parser.error("--max-drift-pct requires --against")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

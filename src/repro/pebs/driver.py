@@ -45,6 +45,7 @@ from repro._constants import (
     NUM_CORES,
     PEBS_BUFFER_RECORDS,
 )
+from repro.obs.profile import NULL_PROFILER
 from repro.obs.trace import NULL_TRACER
 from repro.pebs.events import PebsRecord, StrippedRecord
 
@@ -58,7 +59,8 @@ class KernelDriver:
                  buffer_records: int = PEBS_BUFFER_RECORDS,
                  interrupt_cost: int = DRIVER_INTERRUPT_COST,
                  outbox_capacity: int = DRIVER_OUTBOX_CAPACITY,
-                 injector=None, tracer=None, journal=None):
+                 injector=None, tracer=None, journal=None,
+                 profiler=None):
         self.num_cores = num_cores
         self.buffer_records = buffer_records
         self.interrupt_cost = interrupt_cost
@@ -69,6 +71,11 @@ class KernelDriver:
         #: Event tracer (``repro.obs.trace``); emits ``driver.drain``
         #: per buffer drain and ``driver.outbox_drop`` on overflow.
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Host-time profiler; charges the full-drain path (the bulk of
+        #: the driver's host cost) to ``pebs.drain``.  The per-record
+        #: ``deliver`` hot path is intentionally unprofiled — a clock
+        #: read per record would cost more than the thing measured.
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
         #: Optional write-ahead :class:`RecordJournal`; when present,
         #: every delivered record is journaled before it touches any
         #: volatile buffer.
@@ -169,6 +176,16 @@ class KernelDriver:
 
     def flush_all(self) -> List[StrippedRecord]:
         """Final drain at application exit: empty every core buffer too."""
+        profiler = self.profiler
+        if not profiler.enabled:
+            return self._flush_all()
+        profiler.begin("pebs.drain")
+        try:
+            return self._flush_all()
+        finally:
+            profiler.end()
+
+    def _flush_all(self) -> List[StrippedRecord]:
         for core in range(self.num_cores):
             self._drain_core(core)
         return self.read_records()

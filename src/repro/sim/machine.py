@@ -17,6 +17,7 @@ from typing import Callable, List, Optional
 from repro._constants import NUM_CORES
 from repro.errors import SimulationError
 from repro.isa.program import Program
+from repro.obs.profile import NULL_PROFILER
 from repro.obs.trace import NULL_TRACER
 from repro.rng import RngStreams
 from repro.sim.allocator import Allocator
@@ -81,6 +82,7 @@ class Machine:
         allocator: Optional[Allocator] = None,
         fault_injector=None,
         tracer=None,
+        profiler=None,
     ):
         if program.num_threads > num_cores:
             raise SimulationError(
@@ -101,6 +103,10 @@ class Machine:
         #: NULL_TRACER when observability is off, so instrumentation
         #: sites can test ``tracer.enabled`` unconditionally.
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Host-time profiler (``repro.obs.profile``); NULL_PROFILER
+        #: when profiling is off.  Charges the event loop's host time to
+        #: ``sim.core`` — it never touches the simulated clock.
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
         self.htm = HardwareTransactionalMemory(
             self.memory, self.directory, injector=fault_injector,
             tracer=self.tracer, clock=lambda: self.cycle,
@@ -202,6 +208,17 @@ class Machine:
         detection checks and online repair attach.  ``max_cycles`` is a
         livelock backstop.
         """
+        profiler = self.profiler
+        if not profiler.enabled:
+            return self._run_slice(until_cycle, max_cycles)
+        profiler.begin("sim.core")
+        try:
+            return self._run_slice(until_cycle, max_cycles)
+        finally:
+            profiler.end()
+
+    def _run_slice(self, until_cycle: Optional[int],
+                   max_cycles: int) -> RunResult:
         if not hasattr(self, "_ready"):
             self._init_ready_heap()
         ready = self._ready

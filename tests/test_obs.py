@@ -1,14 +1,17 @@
-"""Observability: event tracing, windowed metrics, telemetry, bench.
+"""Observability: tracing, telemetry, profiler, spans, bench writers.
 
 The load-bearing guarantees under test:
 
 * determinism — same seed + config produce byte-identical trace JSONL
   and metrics snapshots;
 * isolation — tracing observes, it never perturbs: simulated cycles are
-  identical with tracing on, off, or ring-starved;
-* boundedness — the ring sheds oldest events and accounts for them;
-* near-zero disabled cost — the per-site guard budget stays under 2%
-  of run wall-clock.
+  identical with tracing on, off, or ring-starved; the host-time
+  profiler and span tracing likewise leave every simulated output
+  bit-identical when enabled and byte-identical to baseline when off;
+* boundedness — the ring sheds oldest events and accounts for them
+  (and the drop count surfaces in ``RunHealth`` without degrading it);
+* near-zero disabled cost — the per-site guard budget (tracer *and*
+  profiler) stays under 2% of run wall-clock.
 """
 
 import json
@@ -192,6 +195,30 @@ class TestTelemetryUnit:
         expected = "%.0f" % (100 * CYCLES_PER_SECOND / 50_000)
         assert expected in timeline.splitlines()[1]
 
+    def test_timeline_golden_snapshot(self):
+        """Exact ASCII pin for the timeline layout.
+
+        Synthetic windows, so every column is deterministic; any
+        formatting change must update this snapshot consciously.
+        """
+        telemetry = RunTelemetry()
+        telemetry.record_window(
+            make_window(0, hitm_events=4, records_seen=7,
+                        records_admitted=7, repair_state="attached")
+        )
+        telemetry.record_window(
+            make_window(1, 50_000, 100_000, stalled=True,
+                        records_dropped=100)
+        )
+        assert telemetry.render_timeline() == "\n".join([
+            "win  kcycles         hitm/s  rate (peak 200/s)            "
+            "     recs  drop  drop/s st",
+            "  0  0-50               200  ###############################"
+            "#     7     0       0  R",
+            "  1  50-100             200  ###############################"
+            "#     5   100    2000  S",
+        ])
+
     def test_timeline_adds_mode_column_only_for_control_runs(self):
         plain = RunTelemetry()
         plain.record_window(make_window(0))
@@ -327,6 +354,20 @@ class TestRunHealthSurfacing:
         assert not health.degraded
         assert "undecodable_pcs=3" in health.summary()
 
+    def test_trace_drops_surface_without_degrading(self, traced):
+        assert "trace_events_dropped" in traced.health._FIELDS
+        assert traced.health.trace_events_dropped == 0
+
+        starved = traced_run(trace_capacity=8)
+        dropped = starved.telemetry.tracer.events_dropped
+        assert dropped > 0
+        # The health hook samples the counter during exit teardown;
+        # run-end events emitted after it may still drop, so the field
+        # trails the final tracer count by at most those tail events.
+        assert 0 < starved.health.trace_events_dropped <= dropped
+        assert dropped - starved.health.trace_events_dropped <= 2
+        assert not starved.health.degraded
+
 
 class TestDisabledOverhead:
     def test_guard_budget_under_two_percent(self, traced):
@@ -353,6 +394,458 @@ class TestDisabledOverhead:
 
         assert emitted * per_guard < 0.02 * run_wall
 
+    def test_profiler_guard_budget_under_two_percent(self, traced):
+        """The disabled profiler obeys the same per-site budget.
+
+        Profiler sites are far sparser than tracer sites — four slice
+        fan-outs per poll plus one per sim slice and driver drain — so
+        bound the guard count by the (much larger) event count and hold
+        it to the same 2% budget.
+        """
+        from repro.obs import NULL_PROFILER
+
+        guard_sites = traced.telemetry.tracer.events_emitted
+        profiler = NULL_PROFILER
+        iterations = 200_000
+        t0 = time.perf_counter()
+        for _ in range(iterations):
+            if profiler.enabled:  # pragma: no cover - never taken
+                raise AssertionError
+        per_guard = (time.perf_counter() - t0) / iterations
+
+        t0 = time.perf_counter()
+        traced_run(trace_enabled=False)
+        run_wall = time.perf_counter() - t0
+
+        assert guard_sites * per_guard < 0.02 * run_wall
+
+
+# ----------------------------------------------------------------------
+# Host-time profiler
+# ----------------------------------------------------------------------
+
+class _FakeNsClock:
+    """Scripted perf_counter_ns stand-in: deterministic profiler tests."""
+
+    def __init__(self):
+        self.now = 0
+
+    def advance(self, ns):
+        self.now += ns
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def fake_clock(monkeypatch):
+    import repro.obs.profile as profile_mod
+
+    clock = _FakeNsClock()
+    monkeypatch.setattr(profile_mod.time, "perf_counter_ns", clock)
+    return clock
+
+
+class TestHostProfilerUnit:
+    def test_self_time_excludes_children(self, fake_clock):
+        from repro.obs import HostProfiler
+
+        profiler = HostProfiler()
+        profiler.begin("poll")
+        fake_clock.advance(100)
+        profiler.begin("detection")
+        fake_clock.advance(200)
+        profiler.end()
+        fake_clock.advance(700)
+        profiler.end()
+        assert profiler.self_ns(("poll",)) == 800
+        assert profiler.self_ns(("poll", "detection")) == 200
+        assert profiler.total_ns == 1000
+        assert profiler.calls(("poll", "detection")) == 1
+
+    def test_same_leaf_under_different_parents_is_two_paths(self, fake_clock):
+        from repro.obs import HostProfiler
+
+        profiler = HostProfiler()
+        for parent, cost in (("poll", 100), ("exit", 300)):
+            profiler.begin(parent)
+            profiler.begin("pebs.drain")
+            fake_clock.advance(cost)
+            profiler.end()
+            profiler.end()
+        assert profiler.self_ns(("poll", "pebs.drain")) == 100
+        assert profiler.self_ns(("exit", "pebs.drain")) == 300
+        # paths(): parents before children, siblings by subtree cost
+        assert profiler.paths() == [
+            ("exit",), ("exit", "pebs.drain"),
+            ("poll",), ("poll", "pebs.drain"),
+        ]
+
+    def test_aggregate_shares_merge_leaves_and_keep_stable_keys(
+            self, fake_clock):
+        from repro.obs import HostProfiler
+        from repro.obs.profile import KERNEL_CATEGORIES
+
+        profiler = HostProfiler()
+        for parent in ("poll", "exit"):
+            profiler.begin(parent)
+            profiler.begin("detection")
+            fake_clock.advance(250)
+            profiler.end()
+            profiler.end()
+        shares = profiler.aggregate_shares()
+        assert set(KERNEL_CATEGORIES) <= set(shares)
+        assert shares["detection"] == pytest.approx(1.0)
+        assert shares["repair"] == 0.0
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_unmatched_end_raises(self):
+        from repro.obs import HostProfiler
+
+        with pytest.raises(RuntimeError):
+            HostProfiler().end()
+
+    def test_null_profiler_never_records_even_if_reenabled(self):
+        from repro.obs import NULL_PROFILER
+
+        NULL_PROFILER.enabled = True
+        try:
+            NULL_PROFILER.begin("poll")
+            NULL_PROFILER.end()  # would raise on a recording profiler
+        finally:
+            NULL_PROFILER.enabled = False
+        assert NULL_PROFILER.total_ns == 0
+
+    def test_merge_accumulates_paths_and_calls(self, fake_clock):
+        from repro.obs import HostProfiler
+
+        first, second = HostProfiler(), HostProfiler()
+        for profiler in (first, second):
+            profiler.begin("sim.core")
+            fake_clock.advance(500)
+            profiler.end()
+        first.merge(second)
+        assert first.self_ns(("sim.core",)) == 1000
+        assert first.calls(("sim.core",)) == 2
+
+    def test_as_dict_and_render_are_deterministic(self, fake_clock):
+        from repro.obs import HostProfiler, render_profile
+        from repro.obs.profile import PROFILE_SCHEMA
+
+        profiler = HostProfiler()
+        profiler.begin("poll")
+        fake_clock.advance(100_000_000)
+        profiler.begin("detection")
+        fake_clock.advance(200_000_000)
+        profiler.end()
+        fake_clock.advance(700_000_000)
+        profiler.end()
+
+        doc = profiler.as_dict()
+        assert doc["schema"] == PROFILE_SCHEMA
+        assert doc["total_ms"] == 1000.0
+        assert doc["rows"] == [
+            {"path": "poll", "depth": 0, "calls": 1,
+             "self_ms": 800.0, "share": 0.8},
+            {"path": "poll/detection", "depth": 1, "calls": 1,
+             "self_ms": 200.0, "share": 0.2},
+        ]
+
+        lines = render_profile(profiler).splitlines()
+        assert lines[1].split() == ["poll", "1", "800.000", "80.0%",
+                                    "#" * 28]
+        assert lines[2].split() == ["detection", "1", "200.000", "20.0%",
+                                    "#" * 7]
+        assert lines[2].startswith("  detection")  # depth indentation
+        assert lines[-1] == "profiled host time: 1000.000 ms"
+
+    def test_render_empty_profiler_is_a_hint_not_a_crash(self):
+        from repro.obs import HostProfiler, render_profile
+
+        assert "profiling off" in render_profile(HostProfiler())
+
+
+class TestProfiledRunIsolation:
+    def test_profile_off_by_default_and_result_field_none(self, traced):
+        assert traced.profile is None
+
+    def test_profiling_never_perturbs_the_simulation(self, traced):
+        profiled = traced_run(profile_enabled=True)
+        assert profiled.cycles == traced.cycles
+        assert profiled.health.as_dict() == traced.health.as_dict()
+        assert (profiled.telemetry.tracer.to_jsonl()
+                == traced.telemetry.tracer.to_jsonl())
+
+    def test_profiled_run_attributes_the_kernel(self):
+        profiled = traced_run(profile_enabled=True)
+        profile = profiled.profile
+        assert profile is not None and profile.total_ns > 0
+        shares = profile.aggregate_shares()
+        # The simulator core dominates every current workload.
+        assert shares["sim.core"] > 0.5
+        assert sum(shares.values()) == pytest.approx(1.0)
+        labels = {path[0] for path in profile.paths()}
+        assert {"sim.core", "poll", "exit"} <= labels
+
+
+# ----------------------------------------------------------------------
+# Causal span tracing
+# ----------------------------------------------------------------------
+
+def synthetic_repair_events():
+    """A minimal drain → window → threshold → repair lifecycle."""
+    tracer = EventTracer()
+    tracer.emit("driver.drain", 10, core=0, drained=3, dropped=0)
+    tracer.emit("detect.batch", 12, records=3, seq_lo=1, seq_hi=3)
+    tracer.emit("detect.window_roll", 20, records_seen=3,
+                records_admitted=3, window_cycles=20)
+    tracer.emit("detect.line_over_threshold", 999, location="line#1",
+                hitm_rate=2000.0)
+    tracer.emit("repair.trigger", 25, lines=("line#1",), pcs=2)
+    tracer.emit("repair.plan", 26, kind="realign")
+    tracer.emit("repair.verify", 27, verdict="confirmed")
+    tracer.emit("repair.attach", 28)
+    tracer.emit("repair.watchdog", 60, verdict="ok")
+    tracer.emit("repair.detach", 90)
+    return list(tracer.events())
+
+
+class TestSpanBuilderUnit:
+    def test_chain_links_records_to_repair(self):
+        from repro.obs.spans import build_spans
+
+        trace = build_spans(synthetic_repair_events())
+        assert len(trace.windows) == 1
+        assert len(trace.chains) == 1
+        assert not trace.orphans
+        window = trace.windows[0]
+        assert [c.name for c in window.children] == [
+            "driver.drain", "detect.batch", "detect.line_over_threshold",
+        ]
+        chain = trace.chains[0]
+        assert chain.outcome == "detached"
+        assert chain.windows == [window]
+        assert chain.records_behind() == {
+            "records": 3, "seq_lo": 1, "seq_hi": 3, "windows": 1,
+        }
+        assert [s.name for s in chain.stages] == [
+            "repair.trigger", "repair.plan", "repair.verify",
+            "repair.attach", "repair.watchdog", "repair.detach",
+        ]
+
+    def test_backoff_closes_the_chain(self):
+        from repro.obs.spans import build_spans
+
+        tracer = EventTracer()
+        tracer.emit("detect.window_roll", 20, records_seen=1,
+                    records_admitted=1)
+        tracer.emit("detect.line_over_threshold", 999, location="line#1")
+        tracer.emit("repair.trigger", 25, lines=("line#1",))
+        tracer.emit("repair.backoff", 26, reason="verify_failed",
+                    intervals=4)
+        trace = build_spans(tracer.events())
+        assert trace.chains[0].outcome == "backed off (verify_failed)"
+
+    def test_unparented_spans_become_orphans(self):
+        from repro.obs.spans import build_spans
+
+        tracer = EventTracer()
+        # Threshold before any window, watchdog with nothing attached,
+        # and a post-roll drain nothing consumed.
+        tracer.emit("detect.line_over_threshold", 999, location="line#9")
+        tracer.emit("repair.watchdog", 50, verdict="ok")
+        tracer.emit("driver.drain", 60, core=1, drained=2, dropped=0)
+        trace = build_spans(tracer.events())
+        assert not trace.windows and not trace.chains
+        assert [o.name for o in trace.orphans] == [
+            "detect.line_over_threshold", "repair.watchdog", "driver.drain",
+        ]
+
+    def test_non_causal_events_pass_through_untouched(self):
+        from repro.obs.spans import build_spans
+
+        tracer = EventTracer()
+        tracer.emit("laser.run_begin", 0)
+        tracer.emit("pebs.sample", 5, core=0)
+        trace = build_spans(tracer.events())
+        assert not trace.windows and not trace.chains and not trace.orphans
+
+    def test_render_names_the_flow_and_provenance(self):
+        from repro.obs.spans import build_spans
+
+        text = build_spans(synthetic_repair_events()).render()
+        assert "causal spans: 1 windows, 1 repair chains, 0 orphans" in text
+        assert "repair chain #0 (flow 1): detached" in text
+        assert "caused by: 1 window(s), 3 record(s), seq 1..3" in text
+        assert "batch records=3 seq 1..3" in text
+
+    def test_render_elides_windows_past_the_cap(self):
+        from repro.obs.spans import build_spans
+
+        tracer = EventTracer()
+        for index in range(5):
+            tracer.emit("detect.window_roll", 20 * (index + 1),
+                        records_seen=0, records_admitted=0)
+        text = build_spans(tracer.events()).render(max_windows=2)
+        assert "(… 3 more windows)" in text
+        assert text.count("window @") == 2
+
+    def test_chrome_export_threads_one_flow_per_chain(self):
+        from repro.obs.spans import build_spans
+
+        doc = build_spans(synthetic_repair_events()).to_chrome_trace()
+        events = doc["traceEvents"]
+        json.dumps(doc)  # must serialize
+        slices = [e for e in events if e["ph"] == "X"]
+        # window + its 3 children + 6 lifecycle stages
+        assert len(slices) == 10
+        flows = [e for e in events if e["ph"] in ("s", "t", "f")]
+        assert [f["ph"] for f in flows] == (
+            ["s"] + ["t"] * (len(flows) - 2) + ["f"])
+        assert {f["id"] for f in flows} == {1}
+        assert flows[-1]["bp"] == "e"
+        # Threshold slices are re-anchored to the window's end cycle,
+        # never their native report-duration timestamp.
+        threshold = next(e for e in slices
+                         if e["name"] == "detect.line_over_threshold")
+        assert threshold["ts"] == 20
+
+
+class TestSpanTracedRun:
+    def test_span_tracing_off_means_no_batch_events(self, traced):
+        names = {e.name for e in traced.telemetry.tracer.events()}
+        assert "detect.batch" not in names
+
+    def test_span_tracing_never_perturbs_the_simulation(self, traced):
+        spanned = traced_run(trace_spans=True)
+        assert spanned.cycles == traced.cycles
+        assert spanned.health.as_dict() == traced.health.as_dict()
+        names = {e.name for e in spanned.telemetry.tracer.events()}
+        assert "detect.batch" in names
+
+    def test_real_run_builds_a_resolved_chain(self):
+        from repro.obs.spans import build_spans
+
+        spanned = traced_run(trace_spans=True)
+        trace = build_spans(spanned.telemetry.tracer.events())
+        assert trace.windows and trace.chains
+        chain = trace.chains[0]
+        assert chain.outcome in ("attached", "detached")
+        behind = chain.records_behind()
+        assert behind["windows"] >= 1 and behind["records"] > 0
+        assert behind["seq_lo"] is not None
+        assert behind["seq_lo"] <= behind["seq_hi"]
+
+
+class TestGoldenPinsWithObservatoryOn:
+    """ISSUE acceptance: the observatory must be free when off *and*
+    invisible to the simulation when on — a profiled run matches the
+    committed golden pins byte-for-byte (the profiler only reads the
+    host clock), and the default config leaves span tracing off so the
+    trace SHA-256 pins hold too (the services golden suite covers
+    that side)."""
+
+    def test_profiled_run_matches_committed_golden(self):
+        from golden_runbuilt import _sha256, assert_cell_matches, load_golden
+
+        want = next(
+            g for g in load_golden()
+            if (g["workload"], g["seed"], g["schedule"])
+            == ("linear_regression", 0, None)
+        )
+        result = traced_run(profile_enabled=True)
+        got = {
+            "workload": "linear_regression",
+            "seed": 0,
+            "schedule": None,
+            "cycles": result.cycles,
+            "report": result.report.render().splitlines(),
+            "health": result.health.as_dict(),
+            "trace_events": len(result.telemetry.tracer),
+            "trace_sha256": _sha256(result.telemetry.tracer.to_jsonl()),
+            "windows": result.telemetry.window_count,
+            "windows_sha256": _sha256(result.telemetry.windows_jsonl()),
+        }
+        assert_cell_matches(got, want)
+        assert result.profile is not None  # it really was profiling
+
+
+# ----------------------------------------------------------------------
+# BENCH_core speed scoreboard
+# ----------------------------------------------------------------------
+
+class TestBenchCore:
+    def test_collect_schema_and_anchors(self):
+        from repro.obs.bench_core import BENCH_CORE_SCHEMA, collect_bench_core
+        from repro.obs.profile import KERNEL_CATEGORIES
+
+        bench = collect_bench_core(["histogram'"], runs=3, workers=1)
+        assert bench["schema"] == BENCH_CORE_SCHEMA
+        entry = bench["workloads"]["histogram'"]
+        for field in ("native_cycles_per_sec", "sim_cycles_per_sec",
+                      "records_per_sec"):
+            assert entry[field] > 0
+        assert set(KERNEL_CATEGORIES) <= set(entry["self_time_shares"])
+        assert entry["records_seen"] > 0
+        assert bench["geomean_sim_cycles_per_sec"] > 0
+
+        again = collect_bench_core(["histogram'"], runs=3, workers=1)
+        twin = again["workloads"]["histogram'"]
+        # Rates are host-dependent; the anchors must not move.
+        assert twin["laser_cycles"] == entry["laser_cycles"]
+        assert twin["records_seen"] == entry["records_seen"]
+
+    def test_rate_gate_only_fails_on_regressions(self):
+        from repro.obs.bench_core import max_rate_drift_pct
+
+        base = {"workloads": {"w": {
+            "native_cycles_per_sec": 100.0, "sim_cycles_per_sec": 100.0,
+            "records_per_sec": 50.0,
+        }}}
+        faster = {"workloads": {"w": {
+            "native_cycles_per_sec": 900.0, "sim_cycles_per_sec": 1000.0,
+            "records_per_sec": 500.0,
+        }}}
+        slower = {"workloads": {"w": {
+            "native_cycles_per_sec": 100.0, "sim_cycles_per_sec": 40.0,
+            "records_per_sec": 50.0,
+        }}}
+        assert max_rate_drift_pct(base, faster) == 0.0
+        assert max_rate_drift_pct(base, slower) == pytest.approx(60.0)
+        # Zero-rate baselines (histogram has no records) are skipped.
+        base["workloads"]["w"]["records_per_sec"] = 0.0
+        assert max_rate_drift_pct(base, slower) == pytest.approx(60.0)
+
+    def test_diff_marks_anchor_moves_as_behavior_changes(self):
+        from repro.obs.bench_core import diff_bench_core
+
+        base = {"workloads": {"w": {
+            "native_cycles_per_sec": 100.0, "sim_cycles_per_sec": 100.0,
+            "records_per_sec": 50.0, "laser_cycles": 1000.0,
+            "records_seen": 40,
+        }}}
+        same = json.loads(json.dumps(base))
+        assert "no rate drift" in diff_bench_core(base, same)
+        moved = json.loads(json.dumps(base))
+        moved["workloads"]["w"]["records_seen"] = 41
+        assert "BEHAVIOR CHANGE" in diff_bench_core(base, moved)
+
+    def test_committed_scoreboard_is_fresh(self):
+        """The committed BENCH_core.json parses, matches the current
+        schema, and covers the bench suite (≥5 registry workloads)."""
+        from repro.obs.bench import DEFAULT_BENCH_WORKLOADS
+        from repro.obs.bench_core import BENCH_CORE_SCHEMA
+
+        path = os.path.join(_SRC, os.pardir, "BENCH_core.json")
+        with open(path) as fh:
+            committed = json.load(fh)
+        assert committed["schema"] == BENCH_CORE_SCHEMA
+        assert set(committed["workloads"]) == set(DEFAULT_BENCH_WORKLOADS)
+        assert len(committed["workloads"]) >= 5
+        for entry in committed["workloads"].values():
+            assert set(entry["self_time_shares"]) >= {
+                "sim.core", "pebs.drain", "detection", "repair"}
+
 
 class TestCliAndBench:
     def _run(self, *argv):
@@ -371,6 +864,37 @@ class TestCliAndBench:
         assert "smoke ok" in proc.stdout
         assert "phase timeline" in proc.stdout
         assert "cycle breakdown" in proc.stdout
+        assert "ring: " in proc.stdout  # emitted/retained/dropped line
+
+    def test_obs_cli_unknown_workload_exits_nonzero(self):
+        proc = self._run("-m", "repro.obs", "no_such_workload")
+        assert proc.returncode != 0
+
+    def test_obs_cli_profile_subcommand(self, tmp_path):
+        out = tmp_path / "profile.json"
+        proc = self._run("-m", "repro.obs", "profile", "histogram",
+                         "--json", str(out))
+        assert proc.returncode == 0, proc.stderr
+        assert "host-time profile: histogram" in proc.stdout
+        assert "profiled host time:" in proc.stdout
+        assert "top self-time:" in proc.stdout
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == "laser-host-profile/v1"
+        assert doc["rows"] and doc["total_ms"] > 0
+        assert "sim.core" in doc["shares"]
+
+    def test_obs_cli_spans_subcommand(self, tmp_path):
+        out = tmp_path / "spans_trace.json"
+        proc = self._run("-m", "repro.obs", "spans", "histogram'",
+                         "--out", str(out))
+        assert proc.returncode == 0, proc.stderr
+        assert "causal spans:" in proc.stdout
+        assert "repair chain #0" in proc.stdout
+        assert "caused by:" in proc.stdout
+        doc = json.loads(out.read_text())
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert {"X", "s", "t", "f"} <= phases  # slices + flow arrows
+        assert doc["otherData"]["repair_chains"] >= 1
 
     def test_obs_cli_writes_trace(self, tmp_path):
         trace = tmp_path / "trace.json"

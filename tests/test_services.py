@@ -440,6 +440,25 @@ class TestSweepRunner:
         with pytest.raises(ValueError):
             SweepRunner(workers=0)
 
+    def test_map_records_per_cell_cost(self):
+        runner = SweepRunner(workers=1)
+        assert runner.cost_summary() == "sweep cost: no cells run"
+        assert runner.map(_double, [1, 2, 3]) == [2, 4, 6]
+        # Timing is a pure observation: results above are untouched,
+        # and every cell got a (non-negative) host-seconds reading.
+        assert len(runner.cell_seconds) == 3
+        assert all(seconds >= 0 for seconds in runner.cell_seconds)
+        assert runner.total_cell_seconds == sum(runner.cell_seconds)
+        assert runner.elapsed_seconds >= 0
+        summary = runner.cost_summary()
+        assert "3 cells" in summary and "1 worker(s)" in summary
+
+    def test_pooled_map_still_records_cell_cost(self):
+        runner = SweepRunner(workers=2)
+        assert runner.map(_double, list(range(6))) == [
+            0, 2, 4, 6, 8, 10]
+        assert len(runner.cell_seconds) == 6
+
     def test_chaos_soak_identical_at_any_worker_count(self):
         kwargs = dict(workloads=("histogram'",),
                       schedules=("detector-mid", "driver-early"),
