@@ -97,6 +97,12 @@ class RunHealth:
         # not a run degradation — the run behaves identically with or
         # without the tracer.
         HealthField("trace_events_dropped", info=True),
+        # Fleet transport (``repro.fleet``).  Both stay zero on every
+        # single-run path (no transport attached): a partitioned poll
+        # is degraded time for that tenant's shard, while delayed
+        # records are delivered late — not lost — when the link heals.
+        HealthField("transport_partitions"),
+        HealthField("transport_records_delayed", info=True),
     )
     #: Derived views (kept as the historical class-attribute names —
     #: they are part of the public surface; tests and harnesses iterate

@@ -130,11 +130,18 @@ class Laser:
     """The deployable system: detect + (optionally) repair online."""
 
     def __init__(self, config: Optional[LaserConfig] = None,
-                 faults: Optional[FaultPlan] = None):
+                 faults: Optional[FaultPlan] = None,
+                 transport=None):
         self.config = config or LaserConfig()
         #: Fault schedule applied to every run (empty = free, identical
         #: to no injection at all).
         self.faults = faults or FaultPlan()
+        #: Client-to-shard record transport (``repro.fleet``), or
+        #: ``None`` on the single-run path.  Transports are stateful
+        #: across polls, so the fleet attaches a fresh one per session;
+        #: with no transport the driver-poll slice is byte-identical to
+        #: pre-fleet behavior.
+        self.transport = transport
         self.repairer = LaserRepair(
             min_stores_per_flush=self.config.min_stores_per_flush,
             abort_fallback_threshold=self.config.htm_abort_fallback_threshold,
@@ -244,7 +251,7 @@ class Laser:
             health=RunHealth(), driver=driver, pmu=pmu,
             pipeline=pipeline, repairer=self.repairer, runtime=runtime,
             st=DetectorState(config), certificate=certificate,
-            profiler=profiler,
+            profiler=profiler, transport=self.transport,
         )
         resilience = ResilienceService()
         scheduler = Scheduler(

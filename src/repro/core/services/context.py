@@ -100,11 +100,13 @@ class RunContext:
                  "repairer", "runtime", "st", "scheduler",
                  "interval", "recovery", "poll_records", "polled",
                  "was_down", "poll_interval_cycles", "control_mode",
-                 "poll_lag_cycles", "certificate", "profiler")
+                 "poll_lag_cycles", "certificate", "profiler",
+                 "transport")
 
     def __init__(self, config, machine, program, injector, tracer,
                  telemetry, health, driver, pmu, pipeline, repairer,
-                 runtime, st, certificate=None, profiler=None):
+                 runtime, st, certificate=None, profiler=None,
+                 transport=None):
         self.config = config
         self.machine = machine
         self.program = program
@@ -126,6 +128,11 @@ class RunContext:
         #: Host-time profiler (``repro.obs.profile``); the shared
         #: NULL_PROFILER unless ``config.profile_enabled``.
         self.profiler = profiler if profiler is not None else NULL_PROFILER
+        #: Client-to-shard record transport (``repro.fleet``), or
+        #: ``None`` on every single-run path.  When attached, the
+        #: driver-poll service consults it before each read — the
+        #: ``shard.partition`` fault site lives there.
+        self.transport = transport
         self.st = st
         #: Back-reference, set by the scheduler at composition time
         #: (services fan checkpoint save/restore out through it).

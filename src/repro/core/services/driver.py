@@ -44,6 +44,13 @@ class DriverPollService(Service):
             # whole batch waits in the journal for the restart.
             self._resilience.detector_crashed(ctx)
             return
+        if ctx.transport is not None and ctx.transport.blocks_poll(ctx):
+            # Fleet transport partition (``shard.partition``): the
+            # detector is healthy but its read returns nothing — the
+            # backlog queues client-side (buffers + outbox) and the
+            # next healed poll delivers it late.  Never taken on the
+            # single-run path (no transport attached).
+            return
         try:
             if injector.fires("detector.stall"):
                 raise DetectorStall(
@@ -83,3 +90,7 @@ class DriverPollService(Service):
         ctx.health.records_lost = ctx.injector.fired["pebs.record_drop"]
         ctx.health.records_corrupted = ctx.injector.fired["pebs.record_corrupt"]
         ctx.health.records_shed = ctx.driver.records_shed
+        if ctx.transport is not None:
+            ctx.health.transport_partitions = ctx.transport.partitions
+            ctx.health.transport_records_delayed = (
+                ctx.transport.records_delayed)

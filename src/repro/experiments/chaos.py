@@ -239,12 +239,25 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="process-pool width (default: host cores; "
                              "1 = serial)")
     args = parser.parse_args(argv)
-    runner = SweepRunner(args.workers)
-    outcomes = run_chaos_soak(workloads=args.workloads,
-                              schedules=args.schedules, seeds=args.seeds,
-                              runner=runner)
-    print(render_outcomes(outcomes))
-    print(runner.cost_summary())
+    outcomes: List[ChaosOutcome] = []
+    # One runner (and therefore one process pool) shared across every
+    # schedule: the pool is spawned once, and each schedule's batch
+    # reports its own recovery bill as it lands.
+    with SweepRunner(args.workers) as runner:
+        for schedule in (args.schedules or sorted(CRASH_SCHEDULES)):
+            batch = run_chaos_soak(workloads=args.workloads,
+                                   schedules=[schedule], seeds=args.seeds,
+                                   runner=runner)
+            outcomes.extend(batch)
+            print("%-20s %d cells: restarts=%d shed=%d" % (
+                schedule, len(batch),
+                sum(cell.health["detector_crash_restarts"]
+                    + cell.health["driver_crash_restarts"]
+                    for cell in batch),
+                sum(cell.health["records_shed"] for cell in batch)))
+        print()
+        print(render_outcomes(outcomes))
+        print(runner.cost_summary())
     if args.out:
         write_artifact(outcomes, args.out)
         print("wrote %s" % args.out)

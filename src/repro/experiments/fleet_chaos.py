@@ -1,0 +1,342 @@
+"""Fleet chaos soak: burn one tenant, demand the others never notice.
+
+The fleet's isolation claim (``repro.fleet``) is stronger than the
+single-run recovery claim the plain chaos soak pins.  There, a crashed
+monitor must *converge* to the fault-free diagnosis.  Here, a fleet
+runs N tenants while a schedule of tenant crashes, floods and
+transport partitions is aimed at exactly one **victim** tenant, and:
+
+* every **bystander** tenant's report and health must be byte-for-byte
+  identical to its fault-free single-run baseline — not converged,
+  *identical* (its shard shares nothing with the victim's, so there is
+  nothing for the fault to perturb);
+* the victim must meet its schedule's own criterion: crash schedules
+  recover to the byte-identical report (the surviving session is
+  fault-free), partition and in-shard crash schedules converge by
+  report signature, flood schedules keep coverage (shedding costs
+  time-to-detect, never lines), and the eviction schedule must
+  actually evict — the fleet's honest answer, never a silent abort.
+
+Cells fan out at the (schedule, seed) level over one shared
+:class:`~repro.experiments.runner.SweepRunner`; the fleet inside each
+cell runs its shards serially (no nested pools).  The victim's shard
+runs with tracing on, so each cell carries a per-tenant recovery trace
+for the CI artifact.
+
+Run directly::
+
+    PYTHONPATH=src python -m repro.experiments.fleet_chaos \\
+        --out fleet_chaos.json --trace-out tenant_recovery.json
+"""
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import LaserConfig
+from repro.core.laser import Laser
+from repro.experiments.chaos import report_signature
+from repro.experiments.runner import SweepRunner
+from repro.faults import FaultPlan
+from repro.fleet.health import TenantState
+from repro.fleet.pool import FleetPool
+from repro.fleet.tenants import plan_fleet
+from repro.workloads import get_workload
+
+__all__ = [
+    "FLEET_SCHEDULES",
+    "FleetChaosOutcome",
+    "fleet_schedule_plan",
+    "run_fleet_chaos_case",
+    "run_fleet_chaos_soak",
+    "render_fleet_outcomes",
+]
+
+#: Named fleet fault schedules, every one aimed at the victim tenant
+#: (tenant 0 of the planned fleet).  Values are fault-site kwargs, as
+#: for :meth:`~repro.faults.FaultPlan.add`.  Occurrence indices:
+#: ``tenant.crash``/``tenant.flood`` are consulted once per session
+#: attempt, ``shard.partition`` once per poll, the in-shard sites as on
+#: the single-run path.
+FLEET_SCHEDULES: Dict[str, Dict[str, dict]] = {
+    # The client dies at its first session; the restart session runs
+    # fault-free, so the recovered report must be byte-identical.
+    "tenant-crash": {"tenant.crash": dict(at=(0,))},
+    # Two consecutive client deaths: backoff doubles, then recovery.
+    "tenant-crash-repeated": {"tenant.crash": dict(at=(0, 1))},
+    # The client dies at every attempt: the restart budget must run
+    # out and the tenant must be evicted, not retried forever.
+    "tenant-evict": {"tenant.crash": dict(probability=1.0)},
+    # The standard record storm, confined to the victim's own budget.
+    "tenant-flood": {"tenant.flood": dict(at=(0,))},
+    # The victim's transport drops two polls; the backlog is delivered
+    # late and the diagnosis converges.
+    "shard-partition": {"shard.partition": dict(at=(2, 5))},
+    # In-shard detector crash: the victim's own journal/checkpoint
+    # stack recovers it, invisibly to everyone else.
+    "shard-detector-crash": {"detector.crash": dict(at=(8,))},
+    # Crash plus a corrupt newest checkpoint generation: recovery must
+    # fall back a generation inside the victim's shard alone.
+    "shard-corrupt-fallback": {"detector.crash": dict(at=(10,)),
+                               "checkpoint.corrupt": dict(at=(0,))},
+    # Compound: flood and partition the same tenant.
+    "flood-plus-partition": {"tenant.flood": dict(at=(0,)),
+                             "shard.partition": dict(at=(3,))},
+}
+
+#: What the *victim* must achieve under each schedule (bystanders are
+#: always held to byte identity).
+VICTIM_CRITERIA: Dict[str, str] = {
+    "tenant-crash": "byte",
+    "tenant-crash-repeated": "byte",
+    "tenant-evict": "evicted",
+    "tenant-flood": "coverage",
+    "shard-partition": "signature",
+    "shard-detector-crash": "signature",
+    "shard-corrupt-fallback": "signature",
+    "flood-plus-partition": "coverage",
+}
+
+#: Default soak fleet size: a mixed 4-tenant fleet per cell keeps the
+#: grid CI-sized while still giving three bystanders per schedule.
+DEFAULT_TENANTS = 4
+
+
+def fleet_schedule_plan(name: str, seed: int = 0) -> FaultPlan:
+    """Materialize a named fleet schedule as one tenant's FaultPlan."""
+    plan = FaultPlan(seed=seed)
+    for site, kwargs in sorted(FLEET_SCHEDULES[name].items()):
+        plan.add(site, **kwargs)
+    return plan
+
+
+class FleetChaosOutcome:
+    """One (schedule, seed) cell: the fleet run vs per-tenant baselines."""
+
+    __slots__ = ("schedule", "seed", "criterion", "victim", "victim_state",
+                 "victim_ok", "isolated", "bystanders", "restarts", "shed",
+                 "partitions", "victim_outcome")
+
+    def __init__(self, schedule: str, seed: int, criterion: str,
+                 victim_name: str, fleet_result, baselines: Dict[str, object]):
+        self.schedule = schedule
+        self.seed = seed
+        self.criterion = criterion
+        self.victim = victim_name
+        victim = fleet_result.tenant(victim_name)
+        self.victim_state = victim.state
+        self.victim_ok = self._judge_victim(victim, baselines[victim_name])
+        #: name -> byte-identical-to-baseline, for every bystander.
+        self.bystanders = {
+            outcome.tenant: self._byte_identical(
+                outcome, baselines[outcome.tenant])
+            for outcome in fleet_result.outcomes
+            if outcome.tenant != victim_name
+        }
+        self.isolated = all(self.bystanders.values())
+        self.restarts = fleet_result.health.total_restarts
+        self.shed = fleet_result.health.total_shed
+        self.partitions = sum(
+            o.transport_partitions for o in fleet_result.outcomes)
+        #: The victim's full outcome (sessions, recovery trace) for the
+        #: CI artifact.
+        self.victim_outcome = victim.as_dict()
+
+    @staticmethod
+    def _byte_identical(outcome, baseline) -> bool:
+        return (outcome.report_render == baseline.report.render()
+                and outcome.health == baseline.health.as_dict())
+
+    def _judge_victim(self, victim, baseline) -> bool:
+        base_signature = report_signature(baseline)
+        if self.criterion == "evicted":
+            return (victim.state == TenantState.EVICTED
+                    and victim.report_render is None)
+        if victim.state == TenantState.EVICTED:
+            return False
+        if self.criterion == "byte":
+            return self._byte_identical(victim, baseline)
+        if self.criterion == "signature":
+            return victim.signature == base_signature
+        if self.criterion == "coverage":
+            base_lines = {location for location, _ in base_signature}
+            victim_lines = {location for location, _ in victim.signature}
+            return base_lines <= victim_lines
+        raise ValueError("unknown victim criterion %r" % self.criterion)
+
+    @property
+    def ok(self) -> bool:
+        return self.victim_ok and self.isolated
+
+    def as_dict(self) -> dict:
+        return {
+            "schedule": self.schedule,
+            "seed": self.seed,
+            "criterion": self.criterion,
+            "victim": self.victim,
+            "victim_state": self.victim_state,
+            "victim_ok": self.victim_ok,
+            "isolated": self.isolated,
+            "bystanders": self.bystanders,
+            "restarts": self.restarts,
+            "shed": self.shed,
+            "partitions": self.partitions,
+            "ok": self.ok,
+            "victim_outcome": self.victim_outcome,
+        }
+
+    def __repr__(self):
+        return "<FleetChaosOutcome %s seed=%d %s>" % (
+            self.schedule, self.seed, "ok" if self.ok else "FAILED")
+
+
+def run_fleet_chaos_case(schedule: str, seed: int = 0,
+                         tenants: int = DEFAULT_TENANTS,
+                         config: Optional[LaserConfig] = None
+                         ) -> FleetChaosOutcome:
+    """One cell: plan a fleet, burn tenant 0, compare everyone.
+
+    The fleet's shards run serially inside this call (cells are the
+    parallel unit; no nested pools), and the victim's shard runs with
+    tracing on so the outcome carries its recovery story.
+    """
+    spec = plan_fleet(n=tenants, seed=seed, base_config=config)
+    victim = spec.tenants[0]
+    # Tracing is observationally free (bit-identity contract), so the
+    # victim's baseline uses the same traced config.
+    victim.config = victim.config.replace(trace_enabled=True)
+    spec.faults[victim.name] = fleet_schedule_plan(schedule, seed=seed)
+    fleet_result = FleetPool(spec, workers=1).run()
+    baselines = {
+        tenant.name: Laser(tenant.config).run_workload(
+            get_workload(tenant.workload))
+        for tenant in spec.tenants
+    }
+    return FleetChaosOutcome(schedule, seed, VICTIM_CRITERIA[schedule],
+                             victim.name, fleet_result, baselines)
+
+
+def _fleet_cell(schedule: str, seed: int, tenants: int,
+                config: Optional[LaserConfig]) -> FleetChaosOutcome:
+    """One soak cell, shaped for pool workers (module-level, picklable)."""
+    return run_fleet_chaos_case(schedule, seed=seed, tenants=tenants,
+                                config=config)
+
+
+def run_fleet_chaos_soak(schedules: Optional[Sequence[str]] = None,
+                         seeds: Sequence[int] = (0,),
+                         tenants: int = DEFAULT_TENANTS,
+                         config: Optional[LaserConfig] = None,
+                         workers: Optional[int] = None,
+                         runner: Optional[SweepRunner] = None
+                         ) -> List[FleetChaosOutcome]:
+    """The full soak: every (schedule, seed) cell, in grid order."""
+    cells = [
+        (schedule, seed, tenants, config)
+        for schedule in (schedules or sorted(FLEET_SCHEDULES))
+        for seed in seeds
+    ]
+    if runner is None:
+        runner = SweepRunner(workers)
+    return runner.starmap(_fleet_cell, cells)
+
+
+def render_fleet_outcomes(outcomes: Sequence[FleetChaosOutcome]) -> str:
+    """Human-readable soak summary table."""
+    lines = ["%-24s %4s  %-10s  %-9s  %-8s  %s" % (
+        "schedule", "seed", "criterion", "victim", "isolated",
+        "fleet bill")]
+    for outcome in outcomes:
+        lines.append("%-24s %4d  %-10s  %-9s  %-8s  restarts=%d shed=%d "
+                     "partitions=%d" % (
+                         outcome.schedule, outcome.seed, outcome.criterion,
+                         "ok" if outcome.victim_ok else "FAILED",
+                         "yes" if outcome.isolated else "NO",
+                         outcome.restarts, outcome.shed,
+                         outcome.partitions))
+    failed = sum(1 for outcome in outcomes if not outcome.ok)
+    lines.append("%d/%d cells ok" % (len(outcomes) - failed, len(outcomes)))
+    return "\n".join(lines)
+
+
+def write_artifact(outcomes: Sequence[FleetChaosOutcome], path: str) -> None:
+    """The whole soak as one JSON document (the CI artifact)."""
+    with open(path, "w") as fh:
+        json.dump([outcome.as_dict() for outcome in outcomes], fh,
+                  indent=2, sort_keys=True)
+
+
+def write_recovery_trace(outcomes: Sequence[FleetChaosOutcome],
+                         path: str) -> bool:
+    """One per-tenant recovery trace (the richest victim story found).
+
+    Picks the cell whose victim logged the most recovery events — the
+    artifact a failed CI run is debugged from.  Returns False (writing
+    nothing) if no cell traced any recovery.
+    """
+    best = None
+    for outcome in outcomes:
+        events = outcome.victim_outcome["recovery_events"]
+        if events and (best is None
+                       or len(events)
+                       > len(best.victim_outcome["recovery_events"])):
+            best = outcome
+    if best is None:
+        return False
+    with open(path, "w") as fh:
+        json.dump({
+            "schedule": best.schedule,
+            "seed": best.seed,
+            "tenant": best.victim,
+            "state": best.victim_state,
+            "sessions": best.victim_outcome["sessions"],
+            "recovery_events": best.victim_outcome["recovery_events"],
+        }, fh, indent=2, sort_keys=True)
+    return True
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--schedules", nargs="*", default=None,
+                        choices=sorted(FLEET_SCHEDULES), metavar="SCHEDULE")
+    parser.add_argument("--seeds", nargs="*", type=int, default=[0])
+    parser.add_argument("--tenants", type=int, default=DEFAULT_TENANTS)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool width (default: host cores; "
+                             "1 = serial)")
+    parser.add_argument("--out", default=None,
+                        help="write the fleet soak JSON artifact here")
+    parser.add_argument("--trace-out", default=None,
+                        help="write one per-tenant recovery trace here")
+    args = parser.parse_args(argv)
+    outcomes: List[FleetChaosOutcome] = []
+    with SweepRunner(args.workers) as runner:
+        for schedule in (args.schedules or sorted(FLEET_SCHEDULES)):
+            batch = run_fleet_chaos_soak(schedules=[schedule],
+                                         seeds=args.seeds,
+                                         tenants=args.tenants,
+                                         runner=runner)
+            outcomes.extend(batch)
+            print("%-24s %d cells: restarts=%d shed=%d partitions=%d" % (
+                schedule, len(batch),
+                sum(cell.restarts for cell in batch),
+                sum(cell.shed for cell in batch),
+                sum(cell.partitions for cell in batch)))
+        print()
+        print(render_fleet_outcomes(outcomes))
+        print(runner.cost_summary())
+    if args.out:
+        write_artifact(outcomes, args.out)
+        print("wrote %s" % args.out)
+    if args.trace_out:
+        if write_recovery_trace(outcomes, args.trace_out):
+            print("wrote %s" % args.trace_out)
+        else:
+            print("no recovery events traced; %s not written"
+                  % args.trace_out)
+    return 0 if all(outcome.ok for outcome in outcomes) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

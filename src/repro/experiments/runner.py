@@ -64,6 +64,12 @@ class SweepRunner:
     sandboxes block the semaphores ``ProcessPoolExecutor`` needs) fall
     back to the serial path with accounting in ``used_workers``.
 
+    The process pool is created lazily on the first pooled ``map`` and
+    *reused* across subsequent maps — a soak that loops over schedules
+    pays worker spawn once, not once per schedule.  ``close()`` (or
+    using the runner as a context manager) shuts the pool down; an
+    unclosed pool is reaped with the runner.
+
     Workers receive *cell specs* (names, seeds, configs — small
     picklable values) and build the heavy objects themselves; results
     should likewise be reduced, picklable summaries, not live machines.
@@ -86,6 +92,13 @@ class SweepRunner:
         #: Wall-clock seconds the last ``map`` took end to end on the
         #: submitting side (what the operator actually waited).
         self.elapsed_seconds = 0.0
+        #: Lifetime accounting across every ``map`` this runner ran —
+        #: what a multi-schedule soak reports at the end.
+        self.maps_run = 0
+        self.lifetime_cell_seconds = 0.0
+        self.lifetime_elapsed_seconds = 0.0
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_unavailable = False
 
     def map(self, fn: Callable, cells: Iterable) -> List:
         cells = list(cells)
@@ -94,6 +107,9 @@ class SweepRunner:
         timed = self._dispatch(timed_fn, cells)
         self.elapsed_seconds = time.perf_counter() - t0
         self.cell_seconds = [seconds for seconds, _ in timed]
+        self.maps_run += 1
+        self.lifetime_cell_seconds += sum(s for s, _ in timed)
+        self.lifetime_elapsed_seconds += self.elapsed_seconds
         return [result for _, result in timed]
 
     def _dispatch(self, fn: Callable, cells: List) -> List:
@@ -101,16 +117,53 @@ class SweepRunner:
         if width <= 1:
             self.used_workers = 1
             return [fn(cell) for cell in cells]
+        pool = self._ensure_pool()
+        if pool is None:
+            self.used_workers = 1
+            return [fn(cell) for cell in cells]
         try:
-            with ProcessPoolExecutor(max_workers=width) as pool:
-                results = list(pool.map(fn, cells))
+            results = list(pool.map(fn, cells))
         except (OSError, PermissionError):
-            # No subprocess pool available on this host: degrade to the
-            # serial path rather than failing the sweep.
+            # The pool died under us (host revoked subprocess rights
+            # mid-soak): drop it and degrade to the serial path rather
+            # than failing the sweep.
+            self._pool_unavailable = True
+            self.close()
             self.used_workers = 1
             return [fn(cell) for cell in cells]
         self.used_workers = width
         return results
+
+    def _ensure_pool(self) -> Optional[ProcessPoolExecutor]:
+        """The shared pool, created on first pooled map and reused.
+
+        Returns ``None`` where subprocess pools are unavailable (some
+        sandboxes block the semaphores ``ProcessPoolExecutor`` needs) —
+        the decision is remembered, so a soak probes the host once.
+        """
+        if self._pool is None and not self._pool_unavailable:
+            try:
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            except (OSError, PermissionError):
+                self._pool_unavailable = True
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the shared pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):
+        # A runner that failed validation in __init__ has no pool slot.
+        if getattr(self, "_pool", None) is not None:
+            self.close()
 
     def starmap(self, fn: Callable, cells: Iterable[Sequence]) -> List:
         """``map`` for cells that are argument tuples."""
@@ -128,12 +181,17 @@ class SweepRunner:
         if not cells:
             return "sweep cost: no cells run"
         worst = max(self.cell_seconds)
-        return (
+        line = (
             "sweep cost: %d cells, %.2fs total cell time "
             "(max %.2fs/cell), %.2fs elapsed on %d worker(s)"
             % (cells, self.total_cell_seconds, worst,
                self.elapsed_seconds, self.used_workers)
         )
+        if self.maps_run > 1:
+            line += ("; lifetime: %d maps, %.2fs cell time, %.2fs elapsed"
+                     % (self.maps_run, self.lifetime_cell_seconds,
+                        self.lifetime_elapsed_seconds))
+        return line
 
     def __repr__(self):
         return "<SweepRunner workers=%d>" % self.workers

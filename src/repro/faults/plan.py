@@ -49,6 +49,23 @@ rejected):
 ``control.stuck``
     The overload controller freezes for one check interval: signals go
     unevaluated and the knobs stay wherever they were.
+``tenant.crash``
+    A tenant's monitored client process dies at session start
+    (``repro.fleet``): the shard discards the session's in-flight
+    state and the fleet supervisor restarts the tenant after backoff.
+    Consulted once per session, so occurrence indices are session
+    attempts.
+``tenant.flood``
+    A tenant's workload floods its shard's record plane: the session
+    runs under the standard ``load.burst`` storm and the tenant's own
+    admission budget must shed the excess.  Consulted once per
+    session.
+``shard.partition``
+    The transport between one client and its shard stalls for a poll:
+    the shard reads nothing, the backlog queues client-side (driver
+    buffers + outbox) and is delivered late when the link heals.
+    Consulted once per poll, only when a fleet transport is attached
+    to the run.
 """
 
 from typing import Dict, List, Optional, Sequence
@@ -71,6 +88,9 @@ FAULT_SITES: Dict[str, str] = {
     "checkpoint.corrupt": "checkpoint payload corrupted before restore",
     "load.burst": "PMU record storm floods the driver with garbage records",
     "control.stuck": "overload controller freezes for one check interval",
+    "tenant.crash": "tenant client process dies at session start",
+    "tenant.flood": "tenant workload floods its shard's record plane",
+    "shard.partition": "client-to-shard transport stalls for a poll",
 }
 
 

@@ -1,0 +1,60 @@
+"""Fleet-resilient detection service (`repro.fleet`).
+
+LASER's deployability argument (Section 6) is that detection is cheap
+enough to leave *on* in production.  At fleet scale that only holds if
+one monitored process's misbehavior cannot take detection down for the
+others.  This package promotes the single-run service kernel
+(:mod:`repro.core.services`) into a resident multi-tenant detection
+service:
+
+* **tenants** (:mod:`repro.fleet.tenants`) — N simulated client
+  workloads drawn from the registry under a seeded arrival/restart
+  model, each with its *own* share of the fleet's record-admission
+  budget (the per-tenant completion of ROADMAP item 3);
+* **transport** (:mod:`repro.fleet.transport`) — the client-to-shard
+  record channel, hosting the ``shard.partition`` fault site;
+* **shards** (:mod:`repro.fleet.shard`) — one supervised detector
+  session per tenant, running the full PR 5 service kernel with its
+  own journal/checkpoint/degrade stack; the fleet supervisor restarts
+  crashed sessions with seeded-jitter backoff and *evicts* (never
+  aborts) a tenant whose restart budget is exhausted;
+* **pool** (:mod:`repro.fleet.pool`) — shards fan out over
+  :class:`~repro.experiments.runner.SweepRunner`, merged in tenant
+  order so fleet results are byte-identical at any worker count;
+* **health** (:mod:`repro.fleet.health`) — the :class:`FleetHealth`
+  roll-up: per-tenant :class:`~repro.core.health.RunHealth` plus the
+  cross-tenant contention table of recurring (line, TS/FS) verdicts.
+
+The isolation contract, pinned by ``experiments/fleet_chaos.py``:
+under any schedule of tenant crashes, floods and shard partitions
+aimed at one tenant, every *other* tenant's final report is
+byte-for-byte identical to its fault-free single-run report and no
+cross-tenant health field moves.  All fleet machinery is off by
+default — a run without a transport takes the exact pre-fleet code
+path.
+"""
+
+from repro.fleet.health import FleetHealth, TenantState
+from repro.fleet.pool import FleetPool, FleetResult
+from repro.fleet.shard import TenantOutcome, run_shard
+from repro.fleet.tenants import (
+    FLEET_WORKLOADS,
+    FleetSpec,
+    TenantSpec,
+    plan_fleet,
+)
+from repro.fleet.transport import ShardTransport
+
+__all__ = [
+    "FLEET_WORKLOADS",
+    "FleetHealth",
+    "FleetPool",
+    "FleetResult",
+    "FleetSpec",
+    "ShardTransport",
+    "TenantOutcome",
+    "TenantSpec",
+    "TenantState",
+    "plan_fleet",
+    "run_shard",
+]

@@ -1,0 +1,77 @@
+"""The client-to-shard record transport.
+
+In the deployed LASER fleet each monitored client streams PEBS records
+to its detection shard over a transport link.  In the simulator the
+link is a thin stateful gate in front of the shard's driver poll:
+healthy, it is invisible (the poll proceeds exactly as on the
+single-run path); partitioned, the poll reads nothing and the backlog
+queues *client-side* — in the per-core PEBS buffers and the driver
+outbox, which is precisely where a real kernel module would buffer
+records it cannot ship.
+
+The ``shard.partition`` fault site lives here.  It is consulted once
+per poll (only when a transport is attached, so single-run occurrence
+counts never move), and a fired partition blocks exactly one poll: the
+next consultation that does not fire heals the link and the regular
+drain delivers the backlog late.  ``records_delayed`` counts what was
+sitting client-side at each heal — delivered late, never lost — and
+feeds the ``transport_records_delayed`` info health field, while
+``partitions`` feeds the degradation-counting ``transport_partitions``
+field.
+"""
+
+__all__ = ["ShardTransport"]
+
+
+class ShardTransport:
+    """One tenant's record link: partition gate + late-delivery tally.
+
+    Transports are stateful across polls (a partition set at one poll
+    is observed healed at the next), so the fleet attaches a *fresh*
+    transport per detector session — state never leaks across a tenant
+    restart, let alone across tenants.
+    """
+
+    __slots__ = ("partitions", "heals", "records_delayed", "_partitioned")
+
+    def __init__(self):
+        #: Polls blocked by a fired ``shard.partition``.
+        self.partitions = 0
+        #: Partition→healthy transitions observed.
+        self.heals = 0
+        #: Records found queued client-side at heal time (delivered
+        #: late by the next healthy drain, not lost).
+        self.records_delayed = 0
+        self._partitioned = False
+
+    @property
+    def partitioned(self) -> bool:
+        """True between a fired partition and the next healthy poll."""
+        return self._partitioned
+
+    def blocks_poll(self, ctx) -> bool:
+        """Consult the link before one driver read.
+
+        Returns True to block this poll (link down).  The injector is
+        consulted exactly once per call, so a schedule's occurrence
+        indices are poll indices.
+        """
+        if ctx.injector.fires("shard.partition"):
+            self.partitions += 1
+            self._partitioned = True
+            ctx.tracer.emit("fleet.partition", ctx.cycle,
+                            backlog=ctx.driver.pending_records)
+            return True
+        if self._partitioned:
+            self._partitioned = False
+            self.heals += 1
+            delayed = ctx.driver.pending_records
+            self.records_delayed += delayed
+            ctx.tracer.emit("fleet.heal", ctx.cycle, delivered_late=delayed)
+        return False
+
+    def __repr__(self):
+        return "<ShardTransport partitions=%d heals=%d delayed=%d%s>" % (
+            self.partitions, self.heals, self.records_delayed,
+            " DOWN" if self._partitioned else "",
+        )

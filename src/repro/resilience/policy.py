@@ -37,6 +37,17 @@ class Backoff:
     doubles the stored delay, clamped at ``maximum``.  This matches the
     historical repair-backoff semantics exactly: the first delay is
     ``initial`` even if ``initial > maximum``.
+
+    Jitter bounds: with ``jitter=j`` and a base (pre-jitter) delay
+    ``d``, ``step()`` returns a value in the *inclusive* range
+    ``[d, d + int(d * j)]`` — jitter only ever widens a delay, never
+    shortens it, and the widening is at most ``int(d * j)`` (so the
+    clamped schedule's jittered ceiling is ``maximum * (1 + j)``).
+    The draw comes from the policy's private ``rng``, so the whole
+    jittered schedule is a pure function of that RNG's seed: two
+    Backoffs with equal knobs and equal-seeded RNGs produce identical
+    delay sequences, step for step, across supervisor restarts
+    (``tests/test_resilience.py`` pins this property).
     """
 
     __slots__ = ("initial", "maximum", "jitter", "_rng", "_current")

@@ -38,6 +38,13 @@ GOLDEN_SEEDS = (0, 1, 2)
 #: are deterministic per seed too, so they pin just as hard.
 GOLDEN_SCHEDULES = ("double-fault", "corrupt-fallback")
 
+#: Fleet-era RunHealth counters (``repro.fleet``): single-run cells
+#: never attach a transport, so these must be **zero** in every golden
+#: cell — asserted explicitly, by name, on top of the generic
+#: post-golden-keys-are-zero rule, so a fleet hook that leaks into the
+#: single-run path fails with a message naming the fleet.
+FLEET_HEALTH_FIELDS = ("transport_partitions", "transport_records_delayed")
+
 
 def _sha256(text: str) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
@@ -98,6 +105,12 @@ def assert_cell_matches(got: dict, golden: dict) -> None:
                 "(new machinery must stay inert when disabled)"
                 % (key, value)
             )
+    for key in FLEET_HEALTH_FIELDS:
+        assert got_health.get(key, 0) == 0, (
+            "fleet health counter %r is %r on a single-run cell — a "
+            "transport leaked into the transport-less path"
+            % (key, got_health.get(key))
+        )
 
 
 def golden_cells() -> List[dict]:

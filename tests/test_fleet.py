@@ -1,0 +1,322 @@
+"""Fleet-resilient detection service (``repro.fleet``).
+
+Four layers of coverage:
+
+* planning: a fleet is a pure function of ``(n, seed)`` — names,
+  seeds, arrivals and the per-tenant budget split reproduce exactly;
+* the transport: partition/heal mechanics at the unit level, and the
+  off-by-default contract — an *inert* transport attached to a
+  single run leaves every observable output byte-identical;
+* shard supervision: a crashed client restarts with seeded backoff
+  and recovers the byte-identical report, an always-crashing client
+  is evicted (never retried forever, never an abort), a flooding
+  client sheds against its own budget;
+* isolation and the pool: faults aimed at one tenant leave every
+  bystander's report and health byte-for-byte equal to its fault-free
+  single-run baseline, at any worker count, and the
+  :class:`FleetHealth` roll-up correlates recurring contention across
+  tenants.
+
+The full schedule grid lives in ``repro.experiments.fleet_chaos``
+(the CI fleet-chaos job runs it); here one representative cell keeps
+the end-to-end path honest in the default suite.
+"""
+
+import random
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core import Laser, LaserConfig
+from repro.experiments.fleet_chaos import (
+    FLEET_SCHEDULES,
+    run_fleet_chaos_case,
+)
+from repro.faults import FaultInjector, FaultPlan
+from repro.fleet import (
+    FleetHealth,
+    FleetPool,
+    ShardTransport,
+    TenantState,
+    plan_fleet,
+    run_shard,
+)
+from repro.workloads import get_workload
+
+pytestmark = pytest.mark.fleet
+
+
+# ----------------------------------------------------------------------
+# Planning: seeded tenants, arrivals, budget split
+# ----------------------------------------------------------------------
+
+
+class TestFleetPlanning:
+    def test_plan_is_a_pure_function_of_n_and_seed(self):
+        first = plan_fleet(n=5, seed=42)
+        second = plan_fleet(n=5, seed=42)
+        for a, b in zip(first.tenants, second.tenants):
+            assert (a.name, a.workload, a.seed, a.arrival_cycle,
+                    a.budget_records) == (b.name, b.workload, b.seed,
+                                          b.arrival_cycle, b.budget_records)
+
+    def test_different_seeds_plan_different_fleets(self):
+        a = plan_fleet(n=4, seed=0)
+        b = plan_fleet(n=4, seed=1)
+        assert ([t.seed for t in a.tenants] != [t.seed for t in b.tenants])
+
+    def test_fleet_is_mixed_and_arrivals_are_monotone(self):
+        spec = plan_fleet(n=6, seed=0)
+        assert len({t.workload for t in spec.tenants}) > 1
+        arrivals = [t.arrival_cycle for t in spec.tenants]
+        assert arrivals == sorted(arrivals) and arrivals[0] > 0
+
+    def test_total_budget_splits_evenly_with_floor(self):
+        spec = plan_fleet(n=3, seed=0, total_budget_records=100)
+        assert [t.budget_records for t in spec.tenants] == [33, 33, 33]
+        assert all(t.config.control_budget_records == 33
+                   and t.config.control_enabled
+                   for t in spec.tenants)
+        floor = plan_fleet(n=4, seed=0, total_budget_records=2)
+        assert all(t.budget_records == 1 for t in floor.tenants)
+
+    def test_default_budget_is_the_single_run_default(self):
+        base = LaserConfig()
+        spec = plan_fleet(n=3, seed=0, base_config=base)
+        assert all(t.budget_records == base.control_budget_records
+                   for t in spec.tenants)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_fleet(n=0)
+        with pytest.raises(ValueError):
+            plan_fleet(n=2, workload_pool=())
+        with pytest.raises(KeyError):
+            plan_fleet(n=2, seed=0).tenant("nope")
+
+
+# ----------------------------------------------------------------------
+# Transport: partition/heal mechanics, off-by-default byte identity
+# ----------------------------------------------------------------------
+
+
+def _transport_ctx(injector):
+    from repro.obs.trace import NULL_TRACER
+
+    return SimpleNamespace(
+        injector=injector,
+        tracer=NULL_TRACER,
+        driver=SimpleNamespace(pending_records=7),
+        cycle=0,
+    )
+
+
+class TestShardTransport:
+    def test_partition_blocks_one_poll_then_heals(self):
+        plan = FaultPlan(seed=0).add("shard.partition", at=(1,))
+        ctx = _transport_ctx(FaultInjector(plan))
+        transport = ShardTransport()
+        assert not transport.blocks_poll(ctx)          # poll 0: healthy
+        assert transport.blocks_poll(ctx)              # poll 1: down
+        assert transport.partitioned
+        assert transport.partitions == 1
+        assert not transport.blocks_poll(ctx)          # poll 2: healed
+        assert not transport.partitioned
+        assert transport.heals == 1
+        assert transport.records_delayed == 7          # backlog counted once
+        assert not transport.blocks_poll(ctx)
+        assert transport.records_delayed == 7
+
+    def test_inert_transport_leaves_a_run_byte_identical(self):
+        # The off-by-default contract: attaching a transport whose
+        # fault site never fires must not move a single observable —
+        # the partition consult is occurrence counting only, no RNG.
+        cfg = LaserConfig().replace(seed=0, trace_enabled=True)
+        workload = get_workload("histogram'")
+        plain = Laser(cfg).run_workload(workload)
+        transport = ShardTransport()
+        attached = Laser(cfg, transport=transport).run_workload(workload)
+        assert attached.cycles == plain.cycles
+        assert attached.report.render() == plain.report.render()
+        assert attached.health.as_dict() == plain.health.as_dict()
+        assert (attached.telemetry.tracer.to_jsonl()
+                == plain.telemetry.tracer.to_jsonl())
+        assert transport.partitions == 0 and transport.records_delayed == 0
+
+
+# ----------------------------------------------------------------------
+# Shard supervision: restart, eviction, flood confinement
+# ----------------------------------------------------------------------
+
+
+def _one_tenant_fleet(fault_plan=None, **plan_kwargs):
+    spec = plan_fleet(n=1, seed=0, **plan_kwargs)
+    if fault_plan is not None:
+        spec.faults[spec.tenants[0].name] = fault_plan
+    return spec
+
+
+class TestShardSupervision:
+    def test_crashed_client_restarts_and_recovers_byte_identical(self):
+        plan = FaultPlan(seed=0).add("tenant.crash", at=(0,))
+        spec = _one_tenant_fleet(plan)
+        tenant = spec.tenants[0]
+        outcome = run_shard(tenant, spec)
+        assert outcome.state == TenantState.DEGRADED
+        assert outcome.restarts == 1
+        assert outcome.sessions[0]["state"] == "crashed"
+        assert outcome.sessions[0]["restart_delay"] >= 1
+        assert outcome.wasted_intervals >= 1
+        # The restarted session runs fault-free, so recovery is not
+        # merely convergent — it is byte-identical.
+        baseline = Laser(tenant.config).run_workload(
+            get_workload(tenant.workload))
+        assert outcome.report_render == baseline.report.render()
+        assert outcome.health == baseline.health.as_dict()
+
+    def test_shard_outcome_is_deterministic(self):
+        plan = FaultPlan(seed=0).add("tenant.crash", at=(0,))
+        spec = _one_tenant_fleet(plan)
+        first = run_shard(spec.tenants[0], spec)
+        second = run_shard(spec.tenants[0], spec)
+        assert first.as_dict() == second.as_dict()
+
+    def test_always_crashing_client_is_evicted(self):
+        plan = FaultPlan(seed=0).add("tenant.crash", probability=1.0)
+        spec = _one_tenant_fleet(plan)
+        outcome = run_shard(spec.tenants[0], spec)
+        assert outcome.state == TenantState.EVICTED
+        assert outcome.evicted
+        assert outcome.report_render is None
+        # max_restarts delays granted, then the breaker: one final
+        # crashed attempt whose restart_delay is None.
+        assert len(outcome.sessions) == spec.max_restarts + 1
+        assert outcome.sessions[-1]["restart_delay"] is None
+        assert all(s["state"] == "crashed" for s in outcome.sessions)
+
+    def test_flood_sheds_against_the_tenants_own_budget(self):
+        plan = FaultPlan(seed=0).add("tenant.flood", at=(0,))
+        spec = _one_tenant_fleet(plan)
+        outcome = run_shard(spec.tenants[0], spec)
+        assert outcome.state == TenantState.DEGRADED
+        assert outcome.records_shed > 0
+        assert outcome.sessions[0]["flooded"]
+        # Shedding costs time-to-detect, never coverage (the burst-soak
+        # invariant, now per tenant): every fault-free line survives.
+        baseline = Laser(spec.tenants[0].config).run_workload(
+            get_workload(spec.tenants[0].workload))
+        base_lines = {str(line.location) for line in baseline.report.lines}
+        flood_lines = {location for location, _ in outcome.signature}
+        assert base_lines <= flood_lines
+
+
+# ----------------------------------------------------------------------
+# Isolation: one tenant's fault moves nothing anywhere else
+# ----------------------------------------------------------------------
+
+
+class TestFleetIsolation:
+    def _baselines(self, spec):
+        return {
+            tenant.name: Laser(tenant.config).run_workload(
+                get_workload(tenant.workload))
+            for tenant in spec.tenants
+        }
+
+    def test_detector_crash_is_confined_to_its_shard(self):
+        spec = plan_fleet(n=3, seed=0)
+        victim = spec.tenants[0]
+        spec.faults[victim.name] = (
+            FaultPlan(seed=0).add("detector.crash", at=(8,)))
+        result = FleetPool(spec, workers=1).run()
+        baselines = self._baselines(spec)
+        crashed = result.tenant(victim.name)
+        assert crashed.health["detector_crashes"] == 1
+        assert crashed.state == TenantState.DEGRADED
+        # Blast radius: every bystander is byte-identical to its
+        # fault-free single run — report AND the full health dict.
+        for outcome in result.outcomes:
+            if outcome.tenant == victim.name:
+                continue
+            baseline = baselines[outcome.tenant]
+            assert outcome.state == TenantState.NOMINAL
+            assert outcome.report_render == baseline.report.render()
+            assert outcome.health == baseline.health.as_dict()
+
+    def test_flood_sheds_in_one_shard_only(self):
+        spec = plan_fleet(n=3, seed=0)
+        victim = spec.tenants[0]
+        spec.faults[victim.name] = (
+            FaultPlan(seed=0).add("tenant.flood", at=(0,)))
+        result = FleetPool(spec, workers=1).run()
+        assert result.tenant(victim.name).records_shed > 0
+        for outcome in result.outcomes:
+            if outcome.tenant != victim.name:
+                assert outcome.records_shed == 0
+                assert outcome.state == TenantState.NOMINAL
+
+    def test_fleet_chaos_cell_end_to_end(self):
+        # One representative cell of the fleet chaos soak (the full
+        # grid is the CI fleet-chaos job): client crash, byte-identical
+        # recovery, all bystanders isolated.
+        assert "tenant-crash" in FLEET_SCHEDULES
+        cell = run_fleet_chaos_case("tenant-crash", seed=0, tenants=3)
+        assert cell.victim_ok and cell.isolated and cell.ok
+        assert cell.restarts == 1
+
+
+# ----------------------------------------------------------------------
+# Pool determinism and the FleetHealth roll-up
+# ----------------------------------------------------------------------
+
+
+class TestFleetPool:
+    def test_results_identical_at_any_worker_count(self):
+        spec = plan_fleet(n=2, seed=0)
+        spec.faults[spec.tenants[0].name] = (
+            FaultPlan(seed=0).add("tenant.crash", at=(0,)))
+        serial = FleetPool(spec, workers=1).run()
+        pooled = FleetPool(spec, workers=2).run()
+        assert ([o.as_dict() for o in serial.outcomes]
+                == [o.as_dict() for o in pooled.outcomes])
+
+    def test_roll_up_summarizes_states(self):
+        spec = plan_fleet(n=2, seed=0)
+        result = FleetPool(spec, workers=1).run()
+        assert set(result.health.states().values()) <= set(TenantState.ALL)
+        summary = result.health.summary()
+        assert "2 tenants" in summary
+        assert result.render().count("\n") >= 3
+        assert result.as_dict()["tenants"][0]["tenant"] == \
+            spec.tenants[0].name
+
+
+def _fake_outcome(name, signature):
+    return SimpleNamespace(tenant=name, signature=frozenset(signature),
+                           state=TenantState.NOMINAL, restarts=0,
+                           records_shed=0, transport_partitions=0,
+                           health=None)
+
+
+class TestContentionTable:
+    def test_recurring_rows_need_two_tenants(self):
+        shared = ("lib.c:10", "FS")
+        health = FleetHealth([
+            _fake_outcome("a", {shared, ("a.c:1", "TS")}),
+            _fake_outcome("b", {shared}),
+            _fake_outcome("c", {("c.c:3", "FS")}),
+        ])
+        table = health.contention_table()
+        assert table[shared] == ["a", "b"]
+        recurring = health.recurring()
+        assert set(recurring) == {shared}
+        assert health.recurring(min_tenants=1)[("c.c:3", "FS")] == ["c"]
+
+    def test_real_fleet_correlates_shared_diagnoses(self):
+        # Two tenants monitoring the same primed workload (distinct
+        # seeds) must produce at least one recurring row: the false
+        # sharing is in the workload, not the tenant.
+        spec = plan_fleet(n=2, seed=0,
+                          workload_pool=("histogram'", "histogram'"))
+        result = FleetPool(spec, workers=1).run()
+        assert result.health.recurring()

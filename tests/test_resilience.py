@@ -95,6 +95,27 @@ class TestBackoffPolicy:
         for jittered, plain in zip(seq_a, [base.step() for _ in range(6)]):
             assert plain <= jittered <= int(plain * 1.5) + plain
 
+    def test_jitter_schedule_is_a_pure_function_of_the_seed(self):
+        # The documented jitter contract (see the Backoff docstring):
+        # every jittered delay lies in [d, d + int(d * j)] for base
+        # delay d, and the whole schedule is a pure function of the
+        # RNG seed — a supervisor that dies and is rebuilt with the
+        # same seed recomputes the identical restart schedule, which
+        # is what keeps fleet shard restarts deterministic.
+        knob_grid = ((1, 8, 0.5), (2, 16, 0.25), (3, 7, 1.0))
+        for seed in range(25):
+            for initial, maximum, jitter in knob_grid:
+                first = Backoff(initial, maximum, jitter=jitter,
+                                rng=random.Random(seed))
+                schedule = [first.step() for _ in range(8)]
+                restarted = Backoff(initial, maximum, jitter=jitter,
+                                    rng=random.Random(seed))
+                assert [restarted.step() for _ in range(8)] == schedule
+                base = Backoff(initial, maximum)
+                for jittered, plain in zip(
+                        schedule, [base.step() for _ in range(8)]):
+                    assert plain <= jittered <= plain + int(plain * jitter)
+
     def test_validation(self):
         with pytest.raises(ValueError):
             Backoff(0, 8)
@@ -270,6 +291,50 @@ class TestCheckpointStore:
 
     def test_encode_state_is_canonical(self):
         assert encode_state({"b": 1, "a": 2}) == encode_state({"a": 2, "b": 1})
+
+
+# ----------------------------------------------------------------------
+# Checkpoint/journal coordination under a mid-compaction kill
+# ----------------------------------------------------------------------
+
+
+class TestTruncationRace:
+    def test_kill_mid_truncation_replays_from_surviving_generation(self):
+        # Regression for fleet shard supervision: a shard killed
+        # between a checkpoint save and the journal compaction that
+        # follows it must still recover when the *newest* generation
+        # turns out corrupt at restore — compaction only drops entries
+        # at or below the OLDEST retained watermark, so the surviving
+        # generation's replay suffix is intact by construction.
+        journal = RecordJournal()
+        for i in range(10):
+            journal.append(record(i))
+        store = CheckpointStore(injector=_corrupting_injector((0,)))
+        journal.mark_batch(4, cycle=100)
+        store.save({"acked_seq": 4}, cycle=100)
+        journal.mark_batch(8, cycle=200)
+        store.save({"acked_seq": 8}, cycle=200)
+        # The compaction the shard died in the middle of.
+        journal.truncate_through(store.min_retained("acked_seq"))
+        assert len(journal) == 6  # seqs 5..10 retained
+        # Restore: occurrence 0 corrupts the newest generation, so
+        # recovery falls back to the gen-1 snapshot.
+        state = store.load()
+        assert state["acked_seq"] == 4
+        assert store.corrupt_detected == 1
+        # The truncated journal still replays the full suffix from the
+        # surviving generation's watermark...
+        batches, tail = journal.batches_after(state["acked_seq"])
+        replayed = [r.seq for entries, _ in batches for r in entries]
+        assert replayed == [5, 6, 7, 8]
+        assert [r.seq for r in tail] == [9, 10]
+        # ...and replaying it twice is idempotent: once the recovered
+        # batch is re-acked, a second delivery dedups completely.
+        for entries, cycle in batches:
+            journal.mark_batch(entries[-1].seq, cycle)
+        redelivered = [r for entries, _ in batches for r in entries]
+        fresh, dups = RecordJournal.dedup(redelivered, journal.acked_seq)
+        assert fresh == [] and dups == 4
 
 
 # ----------------------------------------------------------------------
