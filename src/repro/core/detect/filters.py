@@ -27,6 +27,15 @@ from repro.sim.vmmap import RegionKind, VirtualMemoryMap
 __all__ = ["RecordFilter"]
 
 
+#: Region-kind codes used by the vectorized classifier (indices into
+#: the one-array-per-map tables; ``-1`` = unmapped).
+_KIND_CODES = {kind: code for code, kind in enumerate(RegionKind)}
+_APP_CODE = _KIND_CODES[RegionKind.APP_CODE]
+_LIB_CODE = _KIND_CODES[RegionKind.LIB_CODE]
+_HEAP_CODE = _KIND_CODES[RegionKind.HEAP]
+_STACK_CODE = _KIND_CODES[RegionKind.STACK]
+
+
 class RecordFilter:
     """Memory-map based record filtering."""
 
@@ -40,6 +49,9 @@ class RecordFilter:
         self.dropped_stack_addr = 0
         self.dropped_unprioritized = 0
         self.passed = 0
+        # SoA region tables for admit_batch, built on first batch (the
+        # map's region set is fixed once the machine is composed).
+        self._tables = None
 
     def admit(self, record: StrippedRecord) -> bool:
         """True if ``record`` survives all filter stages."""
@@ -58,6 +70,60 @@ class RecordFilter:
             return False
         self.passed += 1
         return True
+
+    # ------------------------------------------------------------------
+    # Struct-of-arrays path (engine ``numpy``)
+    # ------------------------------------------------------------------
+
+    def _region_tables(self, np):
+        """(starts, ends, kinds, priority_lines) arrays for the map."""
+        if self._tables is None:
+            regions = self.vmmap.regions()
+            regions.sort(key=lambda r: r.start)
+            starts = np.fromiter((r.start for r in regions), np.uint64,
+                                 count=len(regions))
+            ends = np.fromiter((r.end for r in regions), np.uint64,
+                               count=len(regions))
+            kinds = np.fromiter((_KIND_CODES[r.kind] for r in regions),
+                                np.int64, count=len(regions))
+            prio = None
+            if self.line_priorities is not None:
+                prio = np.fromiter(sorted(self.line_priorities), np.uint64,
+                                   count=len(self.line_priorities))
+            self._tables = (starts, ends, kinds, prio)
+        return self._tables
+
+    def _classify_batch(self, values, np):
+        """Region-kind code per address (``-1`` = unmapped)."""
+        starts, ends, kinds, _prio = self._region_tables(np)
+        slot = np.searchsorted(starts, values, side="right") - 1
+        clipped = np.maximum(slot, 0)
+        mapped = (slot >= 0) & (values < ends[clipped])
+        return np.where(mapped, kinds[clipped], -1)
+
+    def admit_batch(self, pc, addr, np):
+        """Vectorized :meth:`admit` over pc/addr columns.
+
+        Returns the admitted mask; charges each record to the same
+        (first-failing) drop counter the scalar stage would, so the
+        filter's accounting is engine-invariant.
+        """
+        pc_kind = self._classify_batch(pc, np)
+        addr_kind = self._classify_batch(addr, np)
+        app = (pc_kind == _APP_CODE) | (pc_kind == _LIB_CODE)
+        stack = app & (addr_kind == _STACK_CODE)
+        admitted = app & ~stack
+        if self.line_priorities is not None:
+            prio = self._region_tables(np)[3]
+            line = addr // np.uint64(CACHE_LINE_SIZE)
+            unprioritized = (admitted & (addr_kind == _HEAP_CODE)
+                             & ~np.isin(line, prio))
+            self.dropped_unprioritized += int(unprioritized.sum())
+            admitted = admitted & ~unprioritized
+        self.dropped_bad_pc += int((~app).sum())
+        self.dropped_stack_addr += int(stack.sum())
+        self.passed += int(admitted.sum())
+        return admitted
 
     @property
     def total_seen(self) -> int:

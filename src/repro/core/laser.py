@@ -27,6 +27,7 @@ result.
 
 from typing import Optional
 
+from repro.accel import resolve_engine, resolve_sim_engine
 from repro.core.config import LaserConfig
 from repro.core.detect.pipeline import DetectionPipeline
 from repro.core.detect.report import ContentionReport
@@ -168,6 +169,11 @@ class Laser:
         config = self.config
         program = built.program
         injector = FaultInjector(self.faults)
+        # Acceleration engines (``repro.accel``): resolved once per run
+        # so every component agrees, and recorded on RunHealth so the
+        # run reports which engines actually served it.
+        engine = resolve_engine(config.engine)
+        sim_engine = resolve_sim_engine(config.sim_engine)
         # Observability: the tracer is shared by every instrumented
         # component; with tracing off the shared NULL_TRACER makes
         # every site a single predicted-not-taken branch, and a run's
@@ -190,6 +196,7 @@ class Laser:
             fault_injector=injector,
             tracer=tracer,
             profiler=profiler,
+            engine=sim_engine,
         )
         built.apply_init(machine)
         # Wrong PCs scatter across the whole app text region (most of a
@@ -211,6 +218,7 @@ class Laser:
             tracer=tracer,
             journal=runtime.journal if runtime is not None else None,
             profiler=profiler,
+            engine=engine,
         )
         pmu = PerformanceMonitoringUnit(
             imprecision,
@@ -244,11 +252,13 @@ class Laser:
         pipeline = DetectionPipeline(
             program, machine.vmmap, config.sample_after_value,
             tracer=tracer, line_priorities=line_priorities,
+            engine=engine,
         )
         ctx = RunContext(
             config=config, machine=machine, program=program,
             injector=injector, tracer=tracer, telemetry=telemetry,
-            health=RunHealth(), driver=driver, pmu=pmu,
+            health=RunHealth(engine=engine, sim_engine=sim_engine),
+            driver=driver, pmu=pmu,
             pipeline=pipeline, repairer=self.repairer, runtime=runtime,
             st=DetectorState(config), certificate=certificate,
             profiler=profiler, transport=self.transport,

@@ -12,6 +12,7 @@ would build it — checkpoint + replay, then the final drain.
 """
 
 from repro.core.services.base import Service
+from repro.pebs.batch import RecordBatch
 from repro.resilience.journal import RecordJournal, batch_sort_key
 
 __all__ = ["DetectionService"]
@@ -82,7 +83,9 @@ class DetectionService(Service):
         DetectionService._emit_batch(ctx, batch)
         pipeline.process(batch)
         if batch:
-            journal.mark_batch(max(r.seq for r in batch), ctx.cycle)
+            seq_hi = (batch.max_seq() if isinstance(batch, RecordBatch)
+                      else max(r.seq for r in batch))
+            journal.mark_batch(seq_hi, ctx.cycle)
 
     # ------------------------------------------------------------------
     # Checkpoint share: pipeline state + detector loop state
@@ -110,7 +113,7 @@ class DetectionService(Service):
     def on_exit(self, ctx) -> None:
         runtime = ctx.runtime
         if runtime is None:
-            final = ctx.driver.flush_all()
+            final = ctx.driver.flush_batch()
             self._emit_batch(ctx, final)
             ctx.pipeline.process(final)
             return
@@ -128,7 +131,7 @@ class DetectionService(Service):
             self._process_poll(ctx, ctx.driver.flush_all(), True)
         else:
             fresh, dups = RecordJournal.dedup(
-                ctx.driver.flush_all(), runtime.journal.acked_seq
+                ctx.driver.flush_batch(), runtime.journal.acked_seq
             )
             runtime.count_deduped(dups)
             self._emit_batch(ctx, fresh)

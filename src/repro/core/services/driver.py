@@ -61,7 +61,7 @@ class DriverPollService(Service):
                 health.detector_restarts += 1
                 ctx.tracer.emit("detector.resync", ctx.cycle,
                                 backlog=ctx.driver.pending_records)
-            records = ctx.driver.flush_all()
+            records = ctx.driver.flush_batch()
             if records:
                 # Detection latency: age of the batch's oldest record
                 # (flush_all returns timestamp order).  The overload

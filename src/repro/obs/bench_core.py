@@ -10,8 +10,13 @@ measured against.  Per workload it captures:
   with LASER attached (the event-loop + detection throughput);
 * **native_cycles_per_sec** — the same for an unmonitored run (the
   pure event-loop speed ceiling);
-* **records_per_sec** — stripped PEBS records through the detection
-  path per host second (the number the vectorization PR must 10x);
+* **records_per_sec** — stripped PEBS records through the *detection
+  path* per host second: records seen divided by the profiler's self
+  time in ``pebs.drain`` plus the ``detection`` service (the number
+  the vectorization PR must 10x).  v1 divided by whole-run wall time,
+  which a record-free or simulator-bound workload skews toward zero
+  regardless of detection speed; that whole-run rate is kept as
+  **records_per_wall_sec**;
 * **self_time_shares** — the host-time profiler's per-category
   breakdown (``sim.core``, ``pebs.drain``, the six services), merged
   across seeds, saying *where* the host time goes;
@@ -58,16 +63,25 @@ __all__ = ["BENCH_CORE_SCHEMA", "collect_bench_core", "write_bench_core",
            "render_bench_core", "max_rate_drift_pct", "diff_bench_core"]
 
 #: Bump on any backwards-incompatible change to the JSON layout.
-BENCH_CORE_SCHEMA = "laser-core-bench/v1"
+#: v2: ``records_per_sec`` is detection-path throughput (records /
+#: profiled drain+detection self time); the v1 whole-run rate moved to
+#: ``records_per_wall_sec``; record-free workloads are excluded from
+#: ``geomean_records_per_sec`` by their ``records_seen`` anchor.
+BENCH_CORE_SCHEMA = "laser-core-bench/v2"
 
 #: Seeds per workload.  Rates use the trimmed mean over per-seed rates
 #: (drop min and max — the paper's averaging discipline), so 5 gives a
 #: middle-3 average.
 DEFAULT_CORE_RUNS = 5
 
-#: The rate fields the CI drift gate thresholds.
+#: The rate fields the CI drift gate thresholds.  ``base.get(field)``
+#: guards make v1 baselines (no ``records_per_wall_sec``) comparable.
 RATE_FIELDS = ("native_cycles_per_sec", "sim_cycles_per_sec",
-               "records_per_sec")
+               "records_per_sec", "records_per_wall_sec")
+
+#: Detection-path profiler categories: the denominator of the v2
+#: ``records_per_sec`` metric.
+DETECTION_PATH_LABELS = ("pebs.drain", "detection")
 
 
 def _bench_core_one(name: str, runs: int, scale: float) -> Dict:
@@ -85,6 +99,7 @@ def _bench_core_one(name: str, runs: int, scale: float) -> Dict:
 
     sim_rates: List[float] = []
     record_rates: List[float] = []
+    record_wall_rates: List[float] = []
     laser_cycles: List[float] = []
     records_seen = 0
     merged = HostProfiler()
@@ -95,12 +110,19 @@ def _bench_core_one(name: str, runs: int, scale: float) -> Dict:
                               config=config)
         elapsed = time.perf_counter() - t0
         laser_cycles.append(float(result.cycles))
-        records_seen += result.pipeline.stats.records_seen
+        seed_records = result.pipeline.stats.records_seen
+        records_seen += seed_records
         if elapsed > 0:
             sim_rates.append(result.cycles / elapsed)
-            record_rates.append(
-                result.pipeline.stats.records_seen / elapsed)
+            record_wall_rates.append(seed_records / elapsed)
         if result.profile is not None:
+            # Detection-path throughput: records over the host time
+            # actually spent draining and detecting, measured per seed
+            # (this run's fresh profiler, not the merged totals).
+            path_ns = sum(result.profile.leaf_self_ns(label)
+                          for label in DETECTION_PATH_LABELS)
+            if seed_records and path_ns > 0:
+                record_rates.append(seed_records / (path_ns / 1e9))
             merged.merge(result.profile)
 
     shares = merged.aggregate_shares()
@@ -112,6 +134,8 @@ def _bench_core_one(name: str, runs: int, scale: float) -> Dict:
         if sim_rates else 0.0,
         "records_per_sec": round(trimmed_mean(record_rates), 1)
         if record_rates else 0.0,
+        "records_per_wall_sec": round(trimmed_mean(record_wall_rates), 1)
+        if record_wall_rates else 0.0,
         # Host-dependent attribution (where the time goes).
         "self_time_shares": {
             label: round(share, 4) for label, share in sorted(shares.items())
@@ -148,15 +172,25 @@ def collect_bench_core(workload_names: Optional[List[str]] = None,
             "averaging": "trimmed mean over per-seed rates "
                          "(drop min and max)",
             "note": "rates are host-dependent; laser_cycles and "
-                    "records_seen are seed-deterministic anchors",
+                    "records_seen are seed-deterministic anchors; "
+                    "records_per_sec is detection-path throughput "
+                    "(records / profiled drain+detection self time), "
+                    "records_per_wall_sec is the v1 whole-run rate",
         },
         "workloads": workloads,
         "geomean_sim_cycles_per_sec": geomean(
             [w["sim_cycles_per_sec"] for w in workloads.values()
              if w["sim_cycles_per_sec"]] or [0.0]),
+        # Record-free workloads (records_seen == 0) have no detection
+        # throughput to measure — excluded by the deterministic anchor,
+        # not by rate truthiness, so a measured-but-tiny rate still
+        # counts while "nothing to measure" never skews the geomean.
         "geomean_records_per_sec": geomean(
             [w["records_per_sec"] for w in workloads.values()
-             if w["records_per_sec"]] or [0.0]),
+             if w["records_seen"]] or [0.0]),
+        "geomean_records_per_wall_sec": geomean(
+            [w["records_per_wall_sec"] for w in workloads.values()
+             if w["records_seen"]] or [0.0]),
     }
 
 
@@ -173,9 +207,9 @@ def write_bench_core(path: str, bench: Optional[Dict] = None,
 
 def render_bench_core(bench: Dict) -> str:
     """Human-readable scoreboard summary."""
-    rows = ["%-20s %12s %12s %10s  %s"
+    rows = ["%-20s %12s %12s %10s %10s  %s"
             % ("workload", "native cyc/s", "laser cyc/s", "recs/s",
-               "top self-time")]
+               "recs/wall-s", "top self-time")]
     for name in sorted(bench["workloads"]):
         w = bench["workloads"][name]
         shares = w.get("self_time_shares", {})
@@ -183,13 +217,16 @@ def render_bench_core(bench: Dict) -> str:
         top_text = " ".join(
             "%s=%.0f%%" % (label, 100.0 * share) for label, share in top)
         rows.append(
-            "%-20s %12.0f %12.0f %10.0f  %s"
+            "%-20s %12.0f %12.0f %10.0f %10.0f  %s"
             % (name, w["native_cycles_per_sec"], w["sim_cycles_per_sec"],
-               w["records_per_sec"], top_text)
+               w["records_per_sec"], w.get("records_per_wall_sec", 0.0),
+               top_text)
         )
-    rows.append("geomean: %.0f sim cycles/s, %.0f records/s"
+    rows.append("geomean: %.0f sim cycles/s, %.0f records/s "
+                "(detection path), %.0f records/wall-s"
                 % (bench["geomean_sim_cycles_per_sec"],
-                   bench["geomean_records_per_sec"]))
+                   bench["geomean_records_per_sec"],
+                   bench.get("geomean_records_per_wall_sec", 0.0)))
     return "\n".join(rows)
 
 

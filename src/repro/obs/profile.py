@@ -144,6 +144,17 @@ class HostProfiler:
     def calls(self, path: Tuple[str, ...]) -> int:
         return self._calls.get(path, 0)
 
+    def leaf_self_ns(self, label: str) -> int:
+        """Merged self time across every path ending in ``label``.
+
+        The same leaf runs under several parents (``pebs.drain`` nests
+        under both the poll and exit slices); this is the per-category
+        total BENCH_core's detection-path throughput divides by.
+        """
+        return sum(
+            ns for path, ns in self._self_ns.items() if path[-1] == label
+        )
+
     def aggregate_shares(self) -> Dict[str, float]:
         """Self-time share per *leaf label*, merged across paths.
 

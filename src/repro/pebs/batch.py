@@ -1,0 +1,171 @@
+"""Struct-of-arrays record batches (the ``[accel]`` record plane).
+
+A :class:`RecordBatch` wraps one poll's worth of stripped records with
+lazily materialized numpy columns (``pc``/``addr``/``core``/``cycle``/
+``seq``/``weight``), so the batch-wise stages — the driver's timestamp
+merge, journal dedup against the acked watermark, and the detection
+pipeline's vectorized filter/aggregate/classify path — can run as a
+handful of array kernels instead of a Python loop per record.
+
+Columns are materialized **per column, on first use**: converting a
+Python object field to an array element costs ~50ns, while gathering an
+already-built column through a merge or dedup permutation costs ~2ns,
+so each stage pays only for the columns it actually reads and the
+permuting stages (:meth:`sorted_merge`, :meth:`dedup_after`) carry
+built columns forward instead of letting a later stage rebuild them.
+
+The batch is also a sequence of the original :class:`StrippedRecord`
+objects, so every scalar consumer (trace emission, replay, the pure-
+Python pipeline fallback) keeps working unchanged; the columns are a
+*view* of the records, never a second source of truth.  Under the
+``python`` engine no numpy type is ever touched and every method takes
+the scalar path, which keeps numpy a genuinely optional dependency.
+
+Bit-identity: both engines implement the same total orders (the
+``(cycle, core, pc)`` merge is a stable sort in both) and the same
+exact integer arithmetic, so which engine ran is observable only in
+host wall-clock.
+"""
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.accel import get_numpy
+from repro.pebs.events import StrippedRecord
+
+__all__ = ["RecordBatch"]
+
+#: Column builders: genexpr factory + whether the column is unsigned.
+#: ``pc``/``addr`` are uint64 (kernel-half addresses exceed int64); the
+#: bookkeeping columns are int64.  Direct-attribute genexprs measure
+#: faster than ``map(attrgetter(...))`` and ``np.array(list-comp)``.
+_COLUMN_BUILDERS = {
+    "pc": (lambda recs: (r.pc for r in recs), True),
+    "addr": (lambda recs: (r.data_addr for r in recs), True),
+    "core": (lambda recs: (r.core for r in recs), False),
+    "cycle": (lambda recs: (r.cycle for r in recs), False),
+    "seq": (lambda recs: (r.seq for r in recs), False),
+    "weight": (lambda recs: (r.weight for r in recs), False),
+}
+
+_COLUMN_ORDER = ("pc", "addr", "core", "cycle", "seq", "weight")
+
+
+class RecordBatch:
+    """One batch of stripped records plus their struct-of-arrays view."""
+
+    __slots__ = ("records", "engine", "_cols")
+
+    def __init__(self, records: List[StrippedRecord], engine: str = "python",
+                 _cols: Optional[Dict] = None):
+        self.records = records
+        #: Resolved record-plane engine (``"numpy"`` or ``"python"``);
+        #: decides whether column kernels or scalar loops run.
+        self.engine = engine
+        # name -> ndarray cache; permuting stages pre-seed it with
+        # gathered columns so downstream stages skip the rebuild.
+        self._cols: Dict = {} if _cols is None else _cols
+
+    # ------------------------------------------------------------------
+    # Sequence protocol (scalar consumers see a list of records)
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[StrippedRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, index):
+        return self.records[index]
+
+    def __bool__(self) -> bool:
+        return bool(self.records)
+
+    # ------------------------------------------------------------------
+    # Struct-of-arrays view
+    # ------------------------------------------------------------------
+
+    def col(self, name: str):
+        """One column as an ndarray, built on first use then cached."""
+        arr = self._cols.get(name)
+        if arr is None:
+            np = get_numpy()
+            gen, unsigned = _COLUMN_BUILDERS[name]
+            recs = self.records
+            arr = np.fromiter(gen(recs),
+                              np.uint64 if unsigned else np.int64,
+                              count=len(recs))
+            self._cols[name] = arr
+        return arr
+
+    def columns(self):
+        """The full SoA view: ``(pc, addr, core, cycle, seq, weight)``."""
+        return tuple(self.col(name) for name in _COLUMN_ORDER)
+
+    # ------------------------------------------------------------------
+    # Batch-wise stages
+    # ------------------------------------------------------------------
+
+    def sorted_merge(self) -> "RecordBatch":
+        """The driver's detector-facing merge order: ``(cycle, core, pc)``.
+
+        Stable under both engines, so records with equal keys keep their
+        buffer-drain order and the merged sequence is engine-invariant.
+        The merged batch inherits every already-built column via an
+        array gather.
+        """
+        recs = self.records
+        if self.engine == "numpy" and len(recs) >= 2:
+            np = get_numpy()
+            order = np.lexsort((self.col("pc"), self.col("core"),
+                                self.col("cycle")))
+            gathered = {name: arr[order]
+                        for name, arr in self._cols.items()}
+            return RecordBatch([recs[i] for i in order], self.engine,
+                               _cols=gathered)
+        out = list(recs)
+        out.sort(key=lambda r: (r.cycle, r.core, r.pc))
+        return RecordBatch(out, self.engine)
+
+    def dedup_after(self, acked_seq: int):
+        """Split into ``(fresh_batch, duplicate_count)`` at the watermark.
+
+        Mirrors :meth:`repro.resilience.journal.RecordJournal.dedup`:
+        a record whose seqno is at or below ``acked_seq`` was already
+        applied and must be dropped.  The common case — nothing below
+        the watermark — returns ``self`` without copying; the drop path
+        carries built columns forward through the same mask.
+        """
+        if self.engine == "numpy" and len(self.records) >= 2:
+            np = get_numpy()
+            fresh_mask = self.col("seq") > acked_seq
+            kept = int(fresh_mask.sum())
+            if kept == len(self.records):
+                return self, 0
+            idx = np.nonzero(fresh_mask)[0]
+            gathered = {name: arr[idx] for name, arr in self._cols.items()}
+            fresh = RecordBatch([self.records[i] for i in idx], self.engine,
+                                _cols=gathered)
+            return fresh, len(self.records) - kept
+        fresh_list = [r for r in self.records if r.seq > acked_seq]
+        if len(fresh_list) == len(self.records):
+            return self, 0
+        return (RecordBatch(fresh_list, self.engine),
+                len(self.records) - len(fresh_list))
+
+    def max_seq(self) -> int:
+        """Highest journal seqno in the batch (0 when empty)."""
+        if not self.records:
+            return 0
+        if self.engine == "numpy" and len(self.records) >= 2:
+            return int(self.col("seq").max())
+        return max(r.seq for r in self.records)
+
+    def first_cycle(self) -> int:
+        """TSC of the first (oldest, post-merge) record in the batch."""
+        return self.records[0].cycle
+
+    def __repr__(self):
+        return "<RecordBatch %d records engine=%s>" % (
+            len(self.records), self.engine,
+        )

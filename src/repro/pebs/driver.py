@@ -47,9 +47,15 @@ from repro._constants import (
 )
 from repro.obs.profile import NULL_PROFILER
 from repro.obs.trace import NULL_TRACER
+from repro.pebs.batch import RecordBatch
 from repro.pebs.events import PebsRecord, StrippedRecord
 
 __all__ = ["KernelDriver"]
+
+#: Outbox size below which the numpy merge is not worth the column
+#: build; the scalar sort wins on tiny batches and both orders are
+#: identical, so the cutover is invisible.
+_MERGE_BATCH_MIN = 32
 
 
 class KernelDriver:
@@ -60,8 +66,12 @@ class KernelDriver:
                  interrupt_cost: int = DRIVER_INTERRUPT_COST,
                  outbox_capacity: int = DRIVER_OUTBOX_CAPACITY,
                  injector=None, tracer=None, journal=None,
-                 profiler=None):
+                 profiler=None, engine: str = "python"):
         self.num_cores = num_cores
+        #: Resolved record-plane engine (``"numpy"``/``"python"``); the
+        #: system runner passes :func:`repro.accel.resolve_engine`'s
+        #: choice, direct constructions default to the scalar plane.
+        self.engine = engine
         self.buffer_records = buffer_records
         self.interrupt_cost = interrupt_cost
         self.outbox_capacity = outbox_capacity
@@ -169,26 +179,47 @@ class KernelDriver:
         (core, pc) so the merge order is a property of the records, not
         of buffer-drain order.
         """
+        return self._read_batch().records
+
+    def read_batch(self) -> RecordBatch:
+        """:meth:`read_records`, kept as a struct-of-arrays batch."""
+        return self._read_batch()
+
+    def _read_batch(self) -> RecordBatch:
         out = self._outbox
         self._outbox = []
+        if self.engine == "numpy" and len(out) >= _MERGE_BATCH_MIN:
+            # The merge builds the (cycle, core, pc) columns; the batch
+            # carries them forward so dedup and the pipeline gather
+            # instead of rebuilding.
+            return RecordBatch(out, self.engine).sorted_merge()
         out.sort(key=lambda record: (record.cycle, record.core, record.pc))
-        return out
+        return RecordBatch(out, self.engine)
 
     def flush_all(self) -> List[StrippedRecord]:
         """Final drain at application exit: empty every core buffer too."""
+        return self.flush_batch().records
+
+    def flush_batch(self) -> RecordBatch:
+        """Full drain, kept as a struct-of-arrays batch.
+
+        This is the detector poll's read: the batch flows on through
+        journal dedup and the vectorized pipeline without being torn
+        back into per-record Python objects.
+        """
         profiler = self.profiler
         if not profiler.enabled:
-            return self._flush_all()
+            return self._flush_batch()
         profiler.begin("pebs.drain")
         try:
-            return self._flush_all()
+            return self._flush_batch()
         finally:
             profiler.end()
 
-    def _flush_all(self) -> List[StrippedRecord]:
+    def _flush_batch(self) -> RecordBatch:
         for core in range(self.num_cores):
             self._drain_core(core)
-        return self.read_records()
+        return self._read_batch()
 
     @property
     def pending_records(self) -> int:

@@ -36,6 +36,7 @@ without limit).  Compaction is the usual checkpoint contract —
 from bisect import bisect_right
 from typing import List, Tuple
 
+from repro.pebs.batch import RecordBatch
 from repro.pebs.events import StrippedRecord
 
 __all__ = ["RecordJournal", "batch_sort_key"]
@@ -132,13 +133,18 @@ class RecordJournal:
         return batches, suffix[start:]
 
     @staticmethod
-    def dedup(records: List[StrippedRecord], acked_seq: int):
+    def dedup(records, acked_seq: int):
         """Split delivered records into (fresh, duplicates).
 
         A record whose ``(seq, cycle, core)`` falls at or below the
         acked watermark was already applied (via replay or a previous
-        read) — re-delivering it must be a no-op.
+        read) — re-delivering it must be a no-op.  A
+        :class:`~repro.pebs.batch.RecordBatch` stays a batch: the split
+        runs on its seq column and the fresh records flow on in
+        struct-of-arrays form.
         """
+        if isinstance(records, RecordBatch):
+            return records.dedup_after(acked_seq)
         fresh = [r for r in records if r.seq > acked_seq]
         return fresh, len(records) - len(fresh)
 

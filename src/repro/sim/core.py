@@ -82,6 +82,11 @@ class Core:
         self.stats = CoreStats()
         #: Attached software store buffer (set by LASERREPAIR's runtime).
         self.ssb = None
+        #: Compiled-trace caches for the trace engine (one per pin-tax
+        #: variant); built lazily by the machine, invalidated whenever
+        #: the instruction stream is swapped.
+        self._trace = None
+        self._trace_taxed = None
 
     # ------------------------------------------------------------------
     # Dynamic rewriting support (the Pin attach analog)
@@ -103,6 +108,8 @@ class Core:
                 )
             self.pc_index = index_map[self.pc_index]
         self.instructions = instructions
+        self._trace = None
+        self._trace_taxed = None
 
     # ------------------------------------------------------------------
     # Execution

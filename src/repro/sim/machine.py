@@ -15,6 +15,7 @@ import heapq
 from typing import Callable, List, Optional
 
 from repro._constants import NUM_CORES
+from repro.accel import resolve_sim_engine
 from repro.errors import SimulationError
 from repro.isa.program import Program
 from repro.obs.profile import NULL_PROFILER
@@ -26,6 +27,7 @@ from repro.sim.core import Core, CoreState
 from repro.sim.htm import HardwareTransactionalMemory
 from repro.sim.memory import Memory
 from repro.sim.timing import LatencyModel
+from repro.sim.trace import _LAZY, CompiledTrace
 from repro.sim.vmmap import STACK_SIZE, STACK_TOP, default_memory_map
 
 __all__ = ["Machine", "RunResult"]
@@ -83,6 +85,7 @@ class Machine:
         fault_injector=None,
         tracer=None,
         profiler=None,
+        engine: str = "auto",
     ):
         if program.num_threads > num_cores:
             raise SimulationError(
@@ -120,6 +123,19 @@ class Machine:
         self.cycle = 0
         self.jitter = jitter
         self._jitter_rng = self.rng.stream("interleave")
+        #: Simulator engine: "trace" runs precompiled basic-block
+        #: traces with interpreter fallback at every slow/interaction
+        #: point; "interp" is the legacy per-instruction loop.  Both are
+        #: bit-identical in every observable (golden-pinned).
+        self.engine = resolve_sim_engine(engine)
+        # The trace engine may inline L1-hit loads/stores only when
+        # memory routing is the base machine's: execution-model
+        # baselines (e.g. Sheriff's diff-and-merge) override mem_read /
+        # mem_write, and every access must go through their overlays.
+        self._fast_mem_ok = (
+            type(self).mem_read is Machine.mem_read
+            and type(self).mem_write is Machine.mem_write
+        )
         #: PMU / profiler hooks (None = free execution).
         self.on_hitm: Optional[HitmHook] = None
         self.on_memory_op: Optional[MemOpHook] = None
@@ -208,12 +224,16 @@ class Machine:
         detection checks and online repair attach.  ``max_cycles`` is a
         livelock backstop.
         """
+        run_slice = (
+            self._run_slice_traced if self.engine == "trace"
+            else self._run_slice
+        )
         profiler = self.profiler
         if not profiler.enabled:
-            return self._run_slice(until_cycle, max_cycles)
+            return run_slice(until_cycle, max_cycles)
         profiler.begin("sim.core")
         try:
-            return self._run_slice(until_cycle, max_cycles)
+            return run_slice(until_cycle, max_cycles)
         finally:
             profiler.end()
 
@@ -251,6 +271,229 @@ class Machine:
                 heapq.heappush(ready, (next_time, core_id))
             else:
                 self._finish_time = max(self._finish_time, next_time)
+        self.cycle = max(self.cycle, self._finish_time)
+        if tracer.enabled:
+            tracer.emit("machine.slice", self.cycle, ph="E", finished=True)
+        return RunResult(self, self.cycle, finished=True)
+
+    def _trace_for(self, core: Core) -> CompiledTrace:
+        """The compiled trace matching the core's current code + tax.
+
+        Two variants per core (with / without the DBI pin tax baked into
+        the latency literals); both are invalidated by ``replace_code``
+        and additionally re-checked by identity here, so a repair attach
+        or detach mid-run can never execute a stale block.
+        """
+        taxed = core.ssb is not None
+        trace = core._trace_taxed if taxed else core._trace
+        if trace is None or trace.insts is not core.instructions:
+            trace = CompiledTrace(
+                core.instructions, self.latency, taxed, self.jitter,
+                self._fast_mem_ok,
+            )
+            if taxed:
+                core._trace_taxed = trace
+            else:
+                core._trace = trace
+        return trace
+
+    def _run_slice_traced(self, until_cycle: Optional[int],
+                          max_cycles: int) -> RunResult:
+        """Event loop backed by the precompiled-trace engine.
+
+        Identical event semantics to ``_run_slice``: the scheduling
+        order, jitter stream consumption, latency charging and
+        pause/livelock checks are all preserved.  Two things differ in
+        implementation only:
+
+        * Ready cores are tracked as encoded integers ``(time <<
+          shift) | core_id`` in a small list instead of a tuple heap —
+          integer comparison gives exactly the heap's ``(time,
+          core_id)`` lexicographic order, and a linear min/second-min
+          scan beats heap churn at machine core counts.  The tuple heap
+          is materialized on pause/finish so resume and ``finished``
+          keep their contract.
+        * After selecting a core, it executes a *burst* of compiled
+          instructions while its local time ``t`` stays within ``lb`` —
+          the largest time at which ``(t, core_id)`` would still win the
+          next selection (strictly before the runner-up, or tied with a
+          lower core id).  Cross-core effects are impossible inside a
+          burst (compiled blocks touch only local state and L1 hits), so
+          the other cores' ready times stay valid throughout.
+        * Bursts pick one of two compiled shapes by horizon: block
+          functions amortize their prologue/stats-flush over long
+          straight-line runs (serial phases), while single-instruction
+          *micro* functions with a minimal calling convention serve the
+          1–2 instruction horizons of lock-step parallel phases, with
+          their stats deferred into per-core counters flushed at slice
+          boundaries (sums commute, and nothing reads core stats inside
+          a slice).
+        """
+        if not hasattr(self, "_ready"):
+            self._init_ready_heap()
+        jitter_rng = self._jitter_rng
+        use_jitter = self.jitter
+        gb = jitter_rng.getrandbits
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit("machine.slice", self.cycle, ph="B",
+                        until=until_cycle)
+        limit = min(until_cycle, max_cycles) if until_cycle is not None else max_cycles
+        cores = self.cores
+        ncores = len(cores)
+        dl = self.directory._lines
+        pages = self.memory._pages
+        shift = max(3, (ncores - 1).bit_length())
+        cid_mask = (1 << shift) - 1
+        #: Ready queue as encoded ints; order identical to the heap's.
+        active = [(t << shift) | cid for t, cid in self._ready]
+        huge = (max_cycles + 16) << shift
+        # Deferred micro-step stats (flushed into CoreStats before any
+        # observer can read them: slice pause/finish and error unwind).
+        cnt = [0] * ncores
+        busy = [0] * ncores
+        nld = [0] * ncores
+        nst = [0] * ncores
+        npa = [0] * ncores
+        # Per-core dispatch state, hoisted for the slice: (table, micro,
+        # leader flags, len, registers, trace).  Safe to cache because
+        # code swaps and SSB attach/detach (``replace_code``) only
+        # happen from services, which run between slices.
+        tstate: List = [None] * ncores
+
+        def flush_stats():
+            for c in cores:
+                i = c.core_id
+                if cnt[i]:
+                    st = c.stats
+                    st.instructions += cnt[i]
+                    st.busy_cycles += busy[i]
+                    st.loads += nld[i]
+                    st.stores += nst[i]
+                    st.pauses += npa[i]
+                    cnt[i] = busy[i] = nld[i] = nst[i] = npa[i] = 0
+
+        def to_heap():
+            self._ready = sorted(
+                (e >> shift, e & cid_mask) for e in active)
+
+        try:
+            while active:
+                # Linear min / second-min scan (the "pop" and the
+                # runner-up that bounds the winner's burst).
+                m1 = m2 = huge
+                for e in active:
+                    if e < m1:
+                        m2 = m1
+                        m1 = e
+                    elif e < m2:
+                        m2 = e
+                time = m1 >> shift
+                if time > limit:
+                    self.cycle = time
+                    flush_stats()
+                    to_heap()
+                    if until_cycle is not None and time <= max_cycles:
+                        if tracer.enabled:
+                            tracer.emit("machine.slice", time, ph="E")
+                        return RunResult(self, time, finished=False)
+                    raise SimulationError(
+                        "machine exceeded max_cycles=%d (livelock?)"
+                        % max_cycles
+                    )
+                core_id = m1 & cid_mask
+                core = cores[core_id]
+                ts = tstate[core_id]
+                if ts is None:
+                    trace = (core._trace_taxed if core.ssb is not None
+                             else core._trace)
+                    if trace is None or trace.insts is not core.instructions:
+                        trace = self._trace_for(core)
+                    ts = (trace.table, trace.micro, trace.leaders,
+                          len(trace.micro), core.registers, trace)
+                    tstate[core_id] = ts
+                table, micro, lflags, nlen, regs, trace = ts
+                pc2 = core.pc_index
+                # Largest t with ((t << shift) | core_id) < m2.
+                lb = (m2 - core_id - 1) >> shift
+                if lb > limit:
+                    lb = limit
+                # Burst: execute while this core's time still wins the
+                # next selection (t2 <= lb holds at each loop head).
+                # Long horizons at a basic-block leader run a block
+                # function; everything else takes one micro step (inline
+                # fast body, or an interpreter-exact ``core.step()``
+                # inside the micro function for slow ops) — so the burst
+                # flows through memory misses, atomics and SSB ops
+                # without returning to the scheduler.
+                t2 = time
+                while True:
+                    if pc2 < nlen and lflags[pc2] and lb - t2 >= 4:
+                        fn = table[pc2]
+                        if fn is _LAZY:
+                            fn = trace.resolve(pc2)
+                        if fn is not None:
+                            pc3, t3 = fn(core, regs, t2, lb, gb, dl,
+                                         pages, self)
+                            if t3 != t2:
+                                pc2, t2 = pc3, t3
+                                if t2 > lb:
+                                    break
+                                continue
+                            # Entry bail (memory op needing the full
+                            # coherence path): fall through to the
+                            # micro step, which handles it exactly.
+                    if pc2 >= nlen:
+                        break
+                    mfn = micro[pc2]
+                    if mfn is _LAZY:
+                        mfn = trace.resolve_micro(pc2)
+                    if mfn is None:
+                        break  # HALT: the legacy pop below retires it.
+                    v = mfn(regs, t2, gb, core, dl, pages)
+                    if v < 0:
+                        break
+                    t3 = v >> 25
+                    cls = v & 0xE00000
+                    if cls != 0xE00000:
+                        cnt[core_id] += 1
+                        busy[core_id] += t3 - t2 - ((v >> 24) & 1)
+                        if cls:
+                            if cls == 0x200000:
+                                nld[core_id] += 1
+                            elif cls == 0x400000:
+                                nst[core_id] += 1
+                            elif cls == 0x600000:
+                                nld[core_id] += 1
+                                nst[core_id] += 1
+                            else:
+                                npa[core_id] += 1
+                    pc2 = v & 0x1FFFFF
+                    t2 = t3
+                    if t2 > lb:
+                        break
+                if t2 != time:
+                    # Progress: requeue at the burst's end time.  (Every
+                    # executed instruction advances time — latencies are
+                    # >= 1 — so no-progress means nothing ran.)
+                    core.pc_index = pc2
+                    active[active.index(m1)] = (t2 << shift) | core_id
+                    continue
+                self.cycle = time
+                latency = core.step()
+                if use_jitter:
+                    latency += jitter_rng.randrange(0, 2)
+                next_time = time + max(1, latency)
+                if core.state is CoreState.RUNNING:
+                    active[active.index(m1)] = (next_time << shift) | core_id
+                else:
+                    active.remove(m1)
+                    self._finish_time = max(self._finish_time, next_time)
+        except BaseException:
+            flush_stats()
+            raise
+        self._ready = []
+        flush_stats()
         self.cycle = max(self.cycle, self._finish_time)
         if tracer.enabled:
             tracer.emit("machine.slice", self.cycle, ph="E", finished=True)

@@ -364,7 +364,14 @@ class TestHealthRegistry:
         assert RunHealth._INFO_FIELDS == frozenset(
             field.name for field in RunHealth.FIELDS if field.info
         )
-        assert set(RunHealth.__slots__) == set(names)
+        # Engine provenance slots live outside the counter registry on
+        # purpose: as_dict/__eq__/degraded (and the golden health pins)
+        # must stay engine-invariant.
+        assert set(RunHealth.__slots__) == (
+            set(names) | set(RunHealth._ENGINE_SLOTS)
+        )
+        for slot in RunHealth._ENGINE_SLOTS:
+            assert slot not in RunHealth().as_dict()
 
     def test_as_dict_and_eq_track_the_registry(self):
         """No field can be silently omitted from equality/serialization."""
